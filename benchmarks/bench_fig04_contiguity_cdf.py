@@ -1,0 +1,51 @@
+"""Figure 4: CDF of free-memory contiguity across the fleet.
+
+Paper: 23 % of sampled servers cannot assemble even one free 2 MiB block;
+59 % cannot assemble 32 MiB; dynamic 1 GiB allocation is practically
+impossible.
+"""
+
+from repro.analysis import format_table
+
+from common import fleet_sample, save_result
+
+CDF_POINTS = (0.0, 0.05, 0.10, 0.20, 0.30, 0.50, 0.75, 1.0)
+
+
+def compute():
+    sample = fleet_sample()
+    rows = []
+    for gran in ("2MB", "4MB", "32MB", "1GB"):
+        values = sample.contiguity_values(gran)
+        cdf = [sum(1 for v in values if v <= p) / len(values)
+               for p in CDF_POINTS]
+        rows.append([gran] + [f"{c:.2f}" for c in cdf])
+    return sample, rows
+
+
+def test_fig04_contiguity_cdf(benchmark):
+    sample, rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = format_table(
+        ["Granularity"] + [f"<= {p:.0%}" for p in CDF_POINTS],
+        rows,
+        title=("Figure 4: CDF of servers vs contiguity "
+               "(fraction of free memory in free blocks)"),
+    )
+    text += (
+        f"\n\nServers with zero free 2MB blocks:  "
+        f"{sample.fraction_without_any('2MB'):.0%} (paper: 23%)"
+        f"\nServers with zero free 32MB blocks: "
+        f"{sample.fraction_without_any('32MB'):.0%} (paper: 59%)"
+        f"\nServers with zero free 1GB blocks:  "
+        f"{sample.fraction_without_any('1GB'):.0%} (paper: ~100%)"
+    )
+    save_result("fig04_contiguity_cdf.txt", text)
+
+    # Shape assertions: larger granularities are strictly harder.
+    assert sample.fraction_without_any("2MB") <= \
+        sample.fraction_without_any("32MB") <= \
+        sample.fraction_without_any("1GB")
+    # A substantial share of servers lacks any 2 MiB contiguity, and
+    # dynamically allocating 1 GiB is (nearly) impossible.
+    assert sample.fraction_without_any("2MB") > 0.05
+    assert sample.fraction_without_any("1GB") > 0.9

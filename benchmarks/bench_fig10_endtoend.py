@@ -1,0 +1,107 @@
+"""Figure 10: end-to-end performance over production workloads.
+
+Paper: relative RPS under SLA for Web / Cache A / Cache B on Linux with a
+fully fragmented server, Linux partially fragmented, and Contiguitas
+(identical under both fragmentation setups).  Contiguitas wins 7-18 % over
+fully fragmented Linux and 2-9 % over partially fragmented Linux; Web's
+1 GiB pages contribute a 7.5 % win on their own.
+
+Method here, mirroring the paper: pre-condition the machine, deploy the
+service, measure the huge-page coverage it achieved, then feed that
+coverage to the walk-cycle model to get relative throughput.
+"""
+
+import pytest
+
+from repro.analysis import format_table, percent
+from repro.perfmodel import evaluate_configuration
+from repro.units import MiB
+from repro.workloads import (
+    CACHE_A,
+    CACHE_B,
+    WEB,
+    Workload,
+    fragment_fully,
+    fragment_partially,
+)
+
+from common import make_contiguitas, make_linux, save_result
+
+#: Web needs room for 1 GiB reservations; the caches run smaller/faster.
+MEM_BY_SERVICE = {"Web": MiB(2048 + 256), "CacheA": MiB(256),
+                  "CacheB": MiB(256)}
+#: Deploy-restart cycles before the measured deployment (code pushes).
+WARMUP_STEPS = {"Web": 350, "CacheA": 500, "CacheB": 500}
+STEPS = 100
+N_INSTR = 120_000
+
+
+def run_config(spec, kernel_name: str, fragmentation: str):
+    mem = MEM_BY_SERVICE[spec.name]
+    kernel = make_linux(mem) if kernel_name == "linux" \
+        else make_contiguitas(mem)
+    if fragmentation == "full":
+        fragment_fully(kernel)
+    elif fragmentation == "partial":
+        fragment_partially(kernel, spec, steps=WARMUP_STEPS[spec.name])
+    workload = Workload(kernel, spec, seed=7)
+    workload.start()
+    for _ in range(STEPS):
+        workload.step()
+    coverage = workload.huge_coverage()
+    return kernel, workload, coverage
+
+
+def compute():
+    out = {}
+    for spec in (WEB, CACHE_A, CACHE_B):
+        for config, (kname, frag) in {
+            "linux-full": ("linux", "full"),
+            "linux-partial": ("linux", "partial"),
+            "contiguitas": ("contiguitas", "full"),
+        }.items():
+            kernel, workload, coverage = run_config(spec, kname, frag)
+            result = evaluate_configuration(
+                spec, coverage, config, n_instructions=N_INSTR, seed=9)
+            out[(spec.name, config)] = (coverage, result)
+    return out
+
+
+def test_fig10_endtoend(benchmark):
+    out = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for (service, config), (coverage, result) in out.items():
+        base = out[(service, "linux-full")][1].relative_perf
+        rows.append((
+            service, config,
+            percent(coverage["2m"], 0), percent(coverage["1g"], 0),
+            f"{result.walk.total_pct:.1f}%",
+            f"{result.relative_perf / base:.3f}",
+            f"+{result.perf_from_1g:.3f}" if result.perf_from_1g else "-",
+        ))
+    text = format_table(
+        ["Service", "Config", "2M cov", "1G cov", "Walk %",
+         "Perf vs Linux-Full", "1G share"],
+        rows,
+        title="Figure 10: end-to-end performance (relative RPS)",
+    )
+    save_result("fig10_endtoend.txt", text)
+
+    for spec in (WEB, CACHE_A, CACHE_B):
+        full = out[(spec.name, "linux-full")][1].relative_perf
+        partial = out[(spec.name, "linux-partial")][1].relative_perf
+        cont = out[(spec.name, "contiguitas")][1].relative_perf
+        # Contiguitas beats both fragmented-Linux setups.
+        assert cont > partial >= full * 0.98, spec.name
+        # Paper band: 7-18 % over full fragmentation...
+        assert 1.03 < cont / full < 1.40, (spec.name, cont / full)
+        # ...and 2-9 % over partial.
+        assert 1.003 < cont / partial < 1.20, (spec.name, cont / partial)
+
+    # Web's 1 GiB pages contribute a substantial extra win (paper: 7.5 %).
+    web_cov, web_res = out[("Web", "contiguitas")]
+    assert web_cov["1g"] > 0.0, "Contiguitas failed to place 1G pages"
+    assert web_res.perf_from_1g > 0.02
+    # Linux cannot allocate any 1 GiB page under fragmentation.
+    assert out[("Web", "linux-full")][0]["1g"] == 0.0
+    assert out[("Web", "linux-partial")][0]["1g"] == 0.0

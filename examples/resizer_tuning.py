@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Tuning Algorithm 1's coefficients automatically (paper future work).
+
+The paper sets the region-resizing parameters "empirically by observing
+the patterns for movable and unmovable allocations of the workloads" and
+leaves automated search as future work (§3.2).  This example runs that
+search: replay a bursty unmovable-demand trace against candidate
+coefficient sets and keep the cheapest, then show the tuned resizer
+tracking the demand wave.
+
+Usage::
+
+    python examples/resizer_tuning.py [trials]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.core import ContiguitasConfig, ContiguitasKernel
+from repro.core.autotune import random_search, square_wave_demand
+from repro.mm import AllocSource
+from repro.units import MiB
+
+
+def show_tracking(resize_config) -> None:
+    """Replay the demand wave and print the region size following it."""
+    kernel = ContiguitasKernel(ContiguitasConfig(
+        mem_bytes=MiB(64), resize=resize_config))
+    demand = square_wave_demand(periods=2, low_frames=256,
+                                high_frames=2048, steps_per_level=30)
+    live = []
+    rows = []
+    for step, want in enumerate(demand):
+        while len(live) > want:
+            kernel.free_pages(live.pop())
+        while len(live) < want:
+            live.append(kernel.alloc_pages(0, source=AllocSource.NETWORKING))
+        kernel.advance(10_000)
+        if step % 15 == 0:
+            rows.append((step, want,
+                         kernel.layout.unmovable_blocks * 512,
+                         kernel.unmovable.nr_free))
+    print(format_table(
+        ["Step", "Demand (frames)", "Region capacity", "Region free"],
+        rows, title="Tuned resizer tracking a demand square wave:"))
+
+
+def main() -> None:
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    print(f"Searching {trials} random coefficient sets "
+          f"(plus the paper-default baseline)...")
+    outcome = random_search(trials=trials, seed=7)
+    best = outcome.best
+    print(format_table(
+        ["Parameter", "Value"],
+        [
+            ("threshold_unmov", f"{best.threshold_unmov:.2f}"),
+            ("threshold_mov", f"{best.threshold_mov:.2f}"),
+            ("c_ue (expand, pressure)", f"{best.c_ue:.3f}"),
+            ("c_me (expand, headroom)", f"{best.c_me:.3f}"),
+            ("c_ms (shrink, pressure)", f"{best.c_ms:.3f}"),
+            ("c_us (shrink, headroom)", f"{best.c_us:.3f}"),
+        ],
+        title=(f"Best configuration "
+               f"({outcome.improvement:.1%} cheaper than default):"),
+    ))
+    print()
+    show_tracking(best)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Classic setup shim; metadata lives in setup.cfg.
+
+The repository deliberately avoids a pyproject.toml build table: the
+benchmark environment is offline, and PEP-517 build isolation would try
+to download setuptools/wheel.  `pip install -e .` therefore takes the
+legacy (non-isolated) path through this file.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""Contiguitas: physical memory contiguity by design (ISCA 2023).
+
+A frame-accurate reproduction of the paper's OS and hardware co-design:
+
+* :mod:`repro.mm` — the Linux-like memory-management substrate (buddy
+  allocator, migrate types, fallback stealing, compaction, THP, HugeTLB);
+* :mod:`repro.kalloc` — kernel allocation sources (networking, slab,
+  filesystems, page tables) that generate the unmovable mix;
+* :mod:`repro.core` — Contiguitas itself: confined regions, Algorithm-1
+  resizing, placement bias, and the Contiguitas-HW LLC migration engine;
+* :mod:`repro.sim` — the hardware models (TLBs, caches, shootdowns);
+* :mod:`repro.workloads`, :mod:`repro.fleet`, :mod:`repro.perfmodel`,
+  :mod:`repro.analysis` — the evaluation machinery for every figure.
+
+Quickstart::
+
+    from repro import ContiguitasConfig, ContiguitasKernel
+    from repro.units import MiB
+
+    kernel = ContiguitasKernel(ContiguitasConfig(mem_bytes=MiB(256)))
+    page = kernel.alloc_pages(0)
+    huge = kernel.alloc_thp()
+"""
+
+from .core import (
+    ContiguitasConfig,
+    ContiguitasKernel,
+    IlluminatorKernel,
+    PlacementPolicy,
+    RegionLayout,
+    RegionResizer,
+    ResizeConfig,
+)
+from .core.hwext import AccessMode, HwMigrationEngine
+from .errors import (
+    ConfigurationError,
+    ContiguityError,
+    HardwareProtocolError,
+    MigrationError,
+    OutOfMemoryError,
+    ReproError,
+)
+from .mm import (
+    AllocSource,
+    KernelConfig,
+    LinuxKernel,
+    MigrateType,
+    PageHandle,
+)
+from .workloads import Workload, WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessMode",
+    "AllocSource",
+    "ConfigurationError",
+    "ContiguitasConfig",
+    "ContiguitasKernel",
+    "ContiguityError",
+    "HardwareProtocolError",
+    "HwMigrationEngine",
+    "IlluminatorKernel",
+    "KernelConfig",
+    "LinuxKernel",
+    "MigrateType",
+    "MigrationError",
+    "OutOfMemoryError",
+    "PageHandle",
+    "PlacementPolicy",
+    "RegionLayout",
+    "RegionResizer",
+    "ReproError",
+    "ResizeConfig",
+    "Workload",
+    "WorkloadSpec",
+    "__version__",
+]

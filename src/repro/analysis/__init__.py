@@ -1,0 +1,44 @@
+"""Measurement and reporting: contiguity scans, HW cost, table rendering."""
+
+from .contiguity import (
+    SCAN_GRANULARITIES,
+    contiguity_report,
+    free_block_count,
+    free_contiguity,
+    movable_potential,
+    unmovable_block_fraction,
+    unmovable_page_fraction,
+    unmovable_region_internal_frag,
+    unmovable_report,
+)
+from .hwcost import (
+    MetadataTableCost,
+    SramCostModel,
+    migrations_per_second_capacity,
+)
+from .reporting import format_cdf, format_table, percent
+from .snapshot import MemorySnapshot, load_snapshot, save_snapshot
+from .timeline import TimelineRecorder, watch_kernel
+
+__all__ = [
+    "MemorySnapshot",
+    "MetadataTableCost",
+    "SCAN_GRANULARITIES",
+    "SramCostModel",
+    "TimelineRecorder",
+    "contiguity_report",
+    "format_cdf",
+    "format_table",
+    "free_block_count",
+    "free_contiguity",
+    "migrations_per_second_capacity",
+    "movable_potential",
+    "percent",
+    "unmovable_block_fraction",
+    "unmovable_page_fraction",
+    "unmovable_region_internal_frag",
+    "load_snapshot",
+    "save_snapshot",
+    "unmovable_report",
+    "watch_kernel",
+]

@@ -1,0 +1,51 @@
+"""Plain-text table/series rendering for benchmark output.
+
+Every benchmark prints its figure/table through these helpers so the
+regenerated rows line up and are easy to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_cdf(values: Sequence[float], points: Sequence[float],
+               label: str = "value") -> str:
+    """Render CDF rows: for each probe point, the fraction of values <= it."""
+    values = sorted(values)
+    n = len(values)
+    rows = []
+    for p in points:
+        count = sum(1 for v in values if v <= p)
+        rows.append((f"{p:g}", f"{count / n:.2f}" if n else "n/a"))
+    return format_table([label, "CDF"], rows)
+
+
+def percent(x: float, digits: int = 1) -> str:
+    """Format a 0-1 fraction as a percentage string."""
+    return f"{100.0 * x:.{digits}f}%"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)

@@ -1,0 +1,215 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro fig13                 # migration unavailability curve
+    python -m repro walk --service Web    # page-walk cycles per page size
+    python -m repro steady --service CacheB --kernel contiguitas
+    python -m repro fleet --servers 8     # mini fleet survey
+    python -m repro hwcost                # metadata-table cost model
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .analysis import (
+    MetadataTableCost,
+    format_table,
+    migrations_per_second_capacity,
+    percent,
+    unmovable_block_fraction,
+    unmovable_region_internal_frag,
+)
+from .units import MiB, PAGEBLOCK_FRAMES
+
+
+def _cmd_fig13(args) -> None:
+    from .mm import MigrationCostModel
+    from .sim import (
+        DEFAULT_PARAMS,
+        simulate_contiguitas_migration,
+        simulate_linux_migration,
+    )
+
+    analytic = MigrationCostModel()
+    rows = []
+    for victims in range(1, DEFAULT_PARAMS.cores):
+        rows.append((
+            victims,
+            analytic.downtime_cycles(victims),
+            simulate_linux_migration(DEFAULT_PARAMS,
+                                     victims).unavailable_cycles,
+            simulate_contiguitas_migration(DEFAULT_PARAMS,
+                                           victims).unavailable_cycles,
+        ))
+    print(format_table(
+        ["Victim TLBs", "Linux-Real", "Linux-Sim", "Contiguitas"],
+        rows, title="Page-unavailable cycles during migration (Fig. 13)"))
+
+
+def _cmd_walk(args) -> None:
+    from .perfmodel import MIX_1G, MIX_2M, MIX_4K, walk_cycles
+    from .workloads import BY_NAME
+
+    spec = BY_NAME[args.service]
+    rows = []
+    for label, mix in (("4KB", MIX_4K), ("2MB", MIX_2M), ("1GB", MIX_1G)):
+        r = walk_cycles(spec, mix, n_instructions=args.instructions)
+        rows.append((label, f"{r.data_pct:.1f}%", f"{r.instr_pct:.1f}%",
+                     f"{r.total_pct:.1f}%"))
+    print(format_table(
+        ["Pages", "Data walk", "Instr walk", "Total"],
+        rows, title=f"{spec.name}: page-walk cycles (Fig. 3)"))
+
+
+def _cmd_steady(args) -> None:
+    from .core import ContiguitasConfig, ContiguitasKernel
+    from .mm import KernelConfig, LinuxKernel
+    from .workloads import BY_NAME, Workload
+
+    spec = BY_NAME[args.service]
+    mem = MiB(args.mem_mib)
+    kernel = (LinuxKernel(KernelConfig(mem_bytes=mem))
+              if args.kernel == "linux"
+              else ContiguitasKernel(ContiguitasConfig(mem_bytes=mem)))
+    workload = Workload(kernel, spec, seed=args.seed)
+    workload.start()
+    for _ in range(args.steps):
+        workload.step()
+    rows = [
+        ("unmovable 2MB blocks",
+         percent(unmovable_block_fraction(kernel.mem, PAGEBLOCK_FRAMES))),
+        ("THP coverage", percent(workload.huge_coverage()["2m"])),
+        ("1G coverage", percent(workload.huge_coverage()["1g"])),
+        ("free frames", f"{kernel.free_frames():,}"),
+    ]
+    if args.kernel == "contiguitas":
+        rows.append(("unmovable region",
+                     f"{kernel.layout.unmovable_blocks} pageblocks"))
+        rows.append(("region internal frag", percent(
+            unmovable_region_internal_frag(kernel.mem,
+                                           kernel.layout.boundary_pfn))))
+        rows.append(("confinement violations",
+                     str(kernel.confinement_violations())))
+    print(format_table(
+        ["Metric", "Value"], rows,
+        title=f"{spec.name} on {args.kernel} after {args.steps} steps"))
+
+
+def _cmd_fleet(args) -> None:
+    from .fleet import ServerConfig, sample_fleet
+
+    config = ServerConfig(mem_bytes=MiB(args.mem_mib))
+    fleet = sample_fleet(n_servers=args.servers, config=config,
+                         base_seed=args.seed)
+    rows = [
+        (gran,
+         percent(fleet.fraction_without_any(gran), 0),
+         percent(fleet.median_unmovable(gran), 0))
+        for gran in ("2MB", "4MB", "32MB", "1GB")
+    ]
+    print(format_table(
+        ["Granularity", "Servers w/o free block",
+         "Median unmovable blocks"],
+        rows, title=f"Fleet survey over {args.servers} servers"))
+    print(f"\nPearson(uptime, free 2MB blocks) = "
+          f"{fleet.uptime_correlation():+.3f}")
+
+
+def _cmd_interference(args) -> None:
+    from .core.hwext import AccessMode
+    from .workloads import MEMCACHED, NGINX, interference_overhead
+
+    rows = []
+    for app in (NGINX, MEMCACHED):
+        for mode in (AccessMode.NONCACHEABLE, AccessMode.CACHEABLE):
+            oh = interference_overhead(app, args.rate, mode)
+            rows.append((app.name, mode.value, f"{oh:.3%}"))
+    print(format_table(
+        ["App", "HW design", "Throughput overhead"],
+        rows,
+        title=f"Migration interference at {args.rate:g}/s (Sec. 5.3)"))
+
+
+def _cmd_autotune(args) -> None:
+    from .core.autotune import random_search
+
+    out = random_search(trials=args.trials, seed=args.seed)
+    print(f"Baseline cost: {out.baseline_cost:,.0f}")
+    print(f"Best cost:     {out.best_cost:,.0f} "
+          f"({out.improvement:.1%} improvement)")
+    best = out.best
+    print(format_table(
+        ["Parameter", "Value"],
+        [("threshold_unmov", f"{best.threshold_unmov:.2f}"),
+         ("threshold_mov", f"{best.threshold_mov:.2f}"),
+         ("c_ue", f"{best.c_ue:.3f}"), ("c_me", f"{best.c_me:.3f}"),
+         ("c_ms", f"{best.c_ms:.3f}"), ("c_us", f"{best.c_us:.3f}")]))
+
+
+def _cmd_hwcost(args) -> None:
+    cost = MetadataTableCost()
+    print(format_table(
+        ["Metric", "Value"],
+        [
+            ("area per slice", f"{cost.area_mm2():.4f} mm^2"),
+            ("energy per access", f"{cost.energy_per_access_nj():.4f} nJ"),
+            ("leakage", f"{cost.leakage_mw():.2f} mW"),
+            ("share of core area", percent(cost.fraction_of_core_area(), 3)),
+            ("migrations/s (1 entry)",
+             f"{migrations_per_second_capacity(entries=1):,.0f}"),
+        ],
+        title="Contiguitas-HW metadata table (22nm, CACTI-like model)"))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Contiguitas (ISCA 2023) reproduction experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig13", help="migration unavailability").set_defaults(
+        fn=_cmd_fig13)
+
+    walk = sub.add_parser("walk", help="page-walk cycles per page size")
+    walk.add_argument("--service", default="Web",
+                      choices=["Web", "CacheA", "CacheB", "CI", "Ads"])
+    walk.add_argument("--instructions", type=int, default=150_000)
+    walk.set_defaults(fn=_cmd_walk)
+
+    steady = sub.add_parser("steady", help="steady-state fragmentation")
+    steady.add_argument("--service", default="CacheB",
+                        choices=["Web", "CacheA", "CacheB", "CI"])
+    steady.add_argument("--kernel", default="contiguitas",
+                        choices=["linux", "contiguitas"])
+    steady.add_argument("--mem-mib", type=int, default=256)
+    steady.add_argument("--steps", type=int, default=600)
+    steady.add_argument("--seed", type=int, default=0)
+    steady.set_defaults(fn=_cmd_steady)
+
+    fleet = sub.add_parser("fleet", help="fleet fragmentation survey")
+    fleet.add_argument("--servers", type=int, default=6)
+    fleet.add_argument("--mem-mib", type=int, default=512)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.set_defaults(fn=_cmd_fleet)
+
+    sub.add_parser("hwcost", help="metadata-table cost").set_defaults(
+        fn=_cmd_hwcost)
+
+    inter = sub.add_parser("interference",
+                           help="migration interference model")
+    inter.add_argument("--rate", type=float, default=1000.0)
+    inter.set_defaults(fn=_cmd_interference)
+
+    tune = sub.add_parser("autotune",
+                          help="Algorithm-1 coefficient search")
+    tune.add_argument("--trials", type=int, default=12)
+    tune.add_argument("--seed", type=int, default=0)
+    tune.set_defaults(fn=_cmd_autotune)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    args.fn(args)

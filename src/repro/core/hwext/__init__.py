@@ -1,0 +1,27 @@
+"""Contiguitas-HW: LLC extensions for transparent page mobility (§3.3)."""
+
+from .commands import (
+    CommandKind,
+    MigrateFlag,
+    WorkDescriptor,
+    WorkQueue,
+    clear_descriptor,
+    migrate_descriptor,
+)
+from .engine import EngineStats, HwMigrationEngine, HwMigrationReport
+from .metadata import AccessMode, MetadataTable, MigrationEntry
+
+__all__ = [
+    "AccessMode",
+    "CommandKind",
+    "EngineStats",
+    "HwMigrationEngine",
+    "HwMigrationReport",
+    "MetadataTable",
+    "MigrateFlag",
+    "MigrationEntry",
+    "WorkDescriptor",
+    "WorkQueue",
+    "clear_descriptor",
+    "migrate_descriptor",
+]

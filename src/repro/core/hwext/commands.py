@@ -1,0 +1,95 @@
+"""OS ↔ Contiguitas-HW command interface (paper §3.3 "Interface").
+
+The OS prepares work descriptors in memory and submits them through an
+ENQCMD-style work queue, as with Intel DSA.  Two commands exist:
+
+* ``Migrate(src, dst, flag)`` — install a migration mapping; the flag
+  selects whether the copy starts immediately (noncacheable design) or
+  only after the OS has flipped the TLBs (cacheable design).
+* ``Clear(src)`` — retire the mapping once every TLB holds the new
+  translation.
+
+Each descriptor carries a completion address the hardware writes when the
+work finishes; the OS polls it from its natural kernel entries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from ...errors import HardwareProtocolError
+
+
+class CommandKind(Enum):
+    MIGRATE = auto()
+    CLEAR = auto()
+
+
+class MigrateFlag(Enum):
+    """The ``Flag`` argument of ``Migrate`` (paper §3.3)."""
+
+    #: Install the mapping and start copying immediately (noncacheable).
+    START_COPY = auto()
+    #: Install the mapping only; the OS will signal the copy start after
+    #: TLB invalidations complete (cacheable design).
+    INSTALL_ONLY = auto()
+
+
+@dataclass
+class WorkDescriptor:
+    """One ENQCMD submission."""
+
+    kind: CommandKind
+    src_ppn: int
+    dst_ppn: int = -1
+    flag: MigrateFlag = MigrateFlag.START_COPY
+    #: §3.3 "Variable Buffer Sizes": pages covered by one mapping.
+    size_pages: int = 1
+    #: Set by hardware when the command's work completes.
+    completed: bool = False
+
+    def complete(self) -> None:
+        self.completed = True
+
+
+class WorkQueue:
+    """The shared work queue Contiguitas-HW consumes descriptors from."""
+
+    def __init__(self, depth: int = 64) -> None:
+        self.depth = depth
+        self._queue: deque[WorkDescriptor] = deque()
+        self.submitted = 0
+        self.retired = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def enqcmd(self, desc: WorkDescriptor) -> None:
+        """Submit a descriptor; a full queue rejects the ENQCMD (the OS
+        retries), surfaced here as an exception."""
+        if len(self._queue) >= self.depth:
+            raise HardwareProtocolError("work queue full")
+        self._queue.append(desc)
+        self.submitted += 1
+
+    def pop(self) -> WorkDescriptor | None:
+        """Hardware side: take the next descriptor to execute."""
+        if not self._queue:
+            return None
+        self.retired += 1
+        return self._queue.popleft()
+
+
+def migrate_descriptor(src_ppn: int, dst_ppn: int,
+                       flag: MigrateFlag = MigrateFlag.START_COPY,
+                       size_pages: int = 1) -> WorkDescriptor:
+    """Build a ``Migrate(PPN_Src, PPN_Dst, Flag)`` descriptor."""
+    return WorkDescriptor(CommandKind.MIGRATE, src_ppn, dst_ppn, flag,
+                          size_pages=size_pages)
+
+
+def clear_descriptor(src_ppn: int) -> WorkDescriptor:
+    """Build a ``Clear(PPN_Src)`` descriptor."""
+    return WorkDescriptor(CommandKind.CLEAR, src_ppn)

@@ -1,0 +1,125 @@
+"""The Contiguitas-HW metadata table (paper Fig. 8b).
+
+Each LLC slice holds a small fully-associative table of in-flight page
+migrations: source PPN, destination PPN, and a ``Ptr`` marking how many
+cache lines have been copied.  Requests for the source page are redirected
+to the destination when their line offset is below ``Ptr`` — the line has
+already moved.
+
+The table is the entire hardware state of a migration; its 16 entries cap
+concurrent migrations per slice (§5.3 sizes this and shows one entry is
+already enough for realistic rates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ...errors import HardwareProtocolError
+from ...units import LINES_PER_PAGE
+
+
+class AccessMode(Enum):
+    """The two §3.3 design points for pages under migration."""
+
+    NONCACHEABLE = "noncacheable"
+    CACHEABLE = "cacheable"
+
+
+@dataclass
+class MigrationEntry:
+    """One in-flight migration mapping.
+
+    ``size_pages`` implements the §3.3 "Variable Buffer Sizes" extension:
+    one entry may cover a multi-page device mapping, with ``Ptr`` counting
+    copied lines across the whole range.
+    """
+
+    src_ppn: int
+    dst_ppn: int
+    mode: AccessMode = AccessMode.NONCACHEABLE
+    ptr: int = 0          # next line index to copy (range-wide)
+    copying: bool = False  # cacheable mode defers the copy until TLBs flip
+    size_pages: int = 1
+
+    @property
+    def total_lines(self) -> int:
+        return self.size_pages * LINES_PER_PAGE
+
+    @property
+    def done(self) -> bool:
+        return self.ptr >= self.total_lines
+
+    def covers(self, ppn: int) -> bool:
+        """Whether *ppn* lies within this entry's source range."""
+        return 0 <= ppn - self.src_ppn < self.size_pages
+
+    def redirect(self, line_offset: int, page_offset: int = 0) -> int:
+        """PPN that should service a request for line *line_offset* of
+        source page ``src_ppn + page_offset`` (Fig. 8c step 4)."""
+        if not 0 <= line_offset < LINES_PER_PAGE:
+            raise HardwareProtocolError(f"line offset {line_offset} invalid")
+        if not 0 <= page_offset < self.size_pages:
+            raise HardwareProtocolError(f"page offset {page_offset} invalid")
+        global_line = page_offset * LINES_PER_PAGE + line_offset
+        if global_line < self.ptr:
+            return self.dst_ppn + page_offset
+        return self.src_ppn + page_offset
+
+
+class MetadataTable:
+    """Fully associative migration table, keyed by source PPN."""
+
+    def __init__(self, capacity: int = 16) -> None:
+        self.capacity = capacity
+        self._entries: dict[int, MigrationEntry] = {}
+        #: Lifetime peak occupancy, for the §5.3 sizing argument.
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, src_ppn: int) -> bool:
+        return src_ppn in self._entries
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def install(self, entry: MigrationEntry) -> None:
+        """Install a migration mapping (``Migrate`` command)."""
+        if entry.src_ppn in self._entries:
+            raise HardwareProtocolError(
+                f"PPN {entry.src_ppn} already under migration")
+        if self.full:
+            raise HardwareProtocolError(
+                f"metadata table full ({self.capacity} entries)")
+        self._entries[entry.src_ppn] = entry
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+
+    def lookup(self, src_ppn: int) -> MigrationEntry | None:
+        return self._entries.get(src_ppn)
+
+    def lookup_covering(self, ppn: int) -> MigrationEntry | None:
+        """Find the entry whose source *range* contains *ppn* (needed for
+        variable-size mappings); the table is tiny, so a scan is how the
+        fully associative hardware does it too."""
+        entry = self._entries.get(ppn)
+        if entry is not None:
+            return entry
+        for entry in self._entries.values():
+            if entry.covers(ppn):
+                return entry
+        return None
+
+    def clear(self, src_ppn: int) -> MigrationEntry:
+        """Remove a mapping (``Clear`` command, after all TLBs updated)."""
+        try:
+            return self._entries.pop(src_ppn)
+        except KeyError:
+            raise HardwareProtocolError(
+                f"no migration entry for PPN {src_ppn}") from None
+
+    def entries(self) -> list[MigrationEntry]:
+        return list(self._entries.values())

@@ -1,0 +1,48 @@
+"""Placement policy inside the unmovable region (paper §3.2).
+
+Contiguitas biases unmovable allocations *away from the region border* so
+that free space concentrates next to the boundary and shrinking succeeds.
+Inherently long-lived allocations (kernel code and boot-time structures)
+are placed at the far end of the region outright; pages migrated in on
+pinning — typically short-lived — are placed closest to the border so
+their eventual free directly enables a shrink.
+
+With the unmovable region at the top of memory, "away from the border"
+means "prefer high addresses".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mm.page import AllocSource
+
+
+@dataclass(frozen=True)
+class PlacementPolicy:
+    """Maps an unmovable allocation to a buddy search direction.
+
+    Args:
+        bias_enabled: the paper's default.  When False (ablation), every
+            allocation uses the allocator's default direction, and shrink
+            success collapses — the behaviour the bias exists to prevent.
+    """
+
+    bias_enabled: bool = True
+
+    def direction(
+        self,
+        source: AllocSource,
+        pin_migration: bool = False,
+    ) -> str | None:
+        """Return ``"high"``/``"low"`` or None for the allocator default.
+
+        ``pin_migration`` marks movable pages being migrated into the
+        region before pinning; these skew short-lived, so they go next to
+        the border.
+        """
+        if not self.bias_enabled:
+            return None
+        if pin_migration:
+            return "low"     # adjacent to the boundary: frees help shrink
+        return "high"        # everything else: away from the boundary

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the Contiguitas reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class OutOfMemoryError(ReproError):
+    """No free block of the requested order exists in any permitted list.
+
+    The simulated kernel raises this only after reclaim and (where allowed)
+    compaction have failed, mirroring a real allocation failure.
+    """
+
+
+class ContiguityError(ReproError):
+    """A request for physically contiguous memory could not be satisfied
+    (e.g. a HugeTLB 1 GiB reservation on a fragmented machine)."""
+
+
+class MigrationError(ReproError):
+    """A page could not be migrated (pinned, unmovable, or busy)."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid simulator or kernel configuration."""
+
+
+class HardwareProtocolError(ReproError):
+    """Contiguitas-HW protocol violation (e.g. migrating a page that is
+    already under migration, or clearing an entry that does not exist)."""

@@ -1,0 +1,20 @@
+"""Fleet study tooling: simulated servers, sampling, statistics (§2.4)."""
+
+from .report import render_report
+from .sampler import FleetSample, sample_fleet
+from .server import FLEET_SERVICES, ServerConfig, ServerScan, SimulatedServer
+from .stats import cdf_at, median, pearson, percentile
+
+__all__ = [
+    "FLEET_SERVICES",
+    "FleetSample",
+    "ServerConfig",
+    "ServerScan",
+    "SimulatedServer",
+    "cdf_at",
+    "median",
+    "pearson",
+    "percentile",
+    "render_report",
+    "sample_fleet",
+]

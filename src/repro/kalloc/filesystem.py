@@ -1,0 +1,53 @@
+"""Filesystem buffer allocation model.
+
+Filesystems "frequently allocate pages as buffers for compression and
+decompression" (paper §2.5).  These are short-lived but bursty unmovable
+allocations: a read/write burst grabs a handful of buffer pages, uses them,
+and frees most — while a few (journal heads, in-flight writeback) linger.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..mm.handle import PageHandle
+from ..mm.page import AllocSource, MigrateType
+
+
+class FsBufferPool:
+    """Transient filesystem buffers with occasional long-lived stragglers."""
+
+    def __init__(self, kernel, straggler_probability: float = 0.05,
+                 rng: random.Random | None = None) -> None:
+        self.kernel = kernel
+        self.straggler_probability = straggler_probability
+        self.rng = rng or random.Random(0)
+        self._live: list[PageHandle] = []
+        self._stragglers: list[PageHandle] = []
+
+    def io_burst(self, nbuffers: int = 4, order: int = 0) -> None:
+        """Model one I/O burst: allocate *nbuffers* buffers, free most of
+        them immediately, and let a few become stragglers."""
+        burst = [
+            self.kernel.alloc_pages(
+                order=order,
+                source=AllocSource.FILESYSTEM,
+                migratetype=MigrateType.UNMOVABLE,
+            )
+            for _ in range(nbuffers)
+        ]
+        for handle in burst:
+            if self.rng.random() < self.straggler_probability:
+                self._stragglers.append(handle)
+            else:
+                self.kernel.free_pages(handle)
+
+    def retire_stragglers(self, fraction: float = 0.5) -> None:
+        """Free a fraction of the oldest stragglers (writeback completed)."""
+        n = int(len(self._stragglers) * fraction)
+        for handle in self._stragglers[:n]:
+            self.kernel.free_pages(handle)
+        del self._stragglers[:n]
+
+    def frames_in_use(self) -> int:
+        return sum(h.nframes for h in self._stragglers)

@@ -1,0 +1,391 @@
+"""Buddy allocator with per-migratetype free lists and pageblock stealing.
+
+This is a frame-accurate reimplementation of the parts of Linux's page
+allocator that matter for fragmentation dynamics:
+
+* per-order, per-migratetype free lists,
+* block split on allocation and buddy merge on free,
+* fallback allocation with whole-pageblock stealing
+  (:mod:`repro.mm.fallback`), which is how unmovable allocations invade
+  movable pageblocks,
+* address-ordered block selection, with a configurable preference for low
+  or high addresses (used by Contiguitas's placement bias, paper §3.2).
+
+One :class:`BuddyAllocator` manages a contiguous, pageblock-aligned range of
+frames.  The stock Linux kernel uses a single allocator over all memory;
+Contiguitas instantiates two (movable / unmovable region) and moves
+pageblocks between them when the region boundary shifts.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..units import MAX_ORDER, PAGEBLOCK_FRAMES
+from . import vmstat as ev
+from .fallback import fallback_types, should_steal_pageblock
+from .freelist import FreeList
+from .page import AllocSource, MigrateType
+from .pageblock import PageblockTable
+from .physmem import PhysicalMemory
+
+
+class BuddyAllocator:
+    """Binary buddy allocator over ``[start_block, end_block)`` pageblocks.
+
+    Args:
+        mem: backing physical memory (shared with any sibling allocators).
+        pageblocks: the pageblock table (shared).
+        stat: event counter.
+        start_block, end_block: pageblock index range this allocator owns.
+        fallback_enabled: when False, allocation never crosses migrate-type
+            lists (Contiguitas regions disable fallback — confinement).
+        prefer: free-block selection policy.  ``"lifo"`` is stock Linux
+            (freed blocks are reused first, scattering allocations across
+            the address space); ``"fifo"`` is the oldest-first variant;
+            ``"low"``/``"high"`` are address-ordered and used by
+            Contiguitas's placement bias (the unmovable region prefers the
+            end farthest from the region border).
+        label: name used in diagnostics.
+    """
+
+    def __init__(
+        self,
+        mem: PhysicalMemory,
+        pageblocks: PageblockTable,
+        stat,
+        start_block: int = 0,
+        end_block: int | None = None,
+        fallback_enabled: bool = True,
+        prefer: str = "low",
+        label: str = "buddy",
+    ) -> None:
+        if prefer not in ("low", "high", "lifo", "fifo"):
+            raise ConfigurationError(
+                f"prefer must be low/high/lifo/fifo, got {prefer!r}")
+        self.mem = mem
+        self.pageblocks = pageblocks
+        self.stat = stat
+        self.start_block = start_block
+        self.end_block = mem.npageblocks if end_block is None else end_block
+        self.fallback_enabled = fallback_enabled
+        self.prefer = prefer
+        self.label = label
+
+        self.free_lists: list[dict[MigrateType, FreeList]] = [
+            {mt: FreeList() for mt in MigrateType} for _ in range(MAX_ORDER + 1)
+        ]
+        #: Free frames currently held on this allocator's lists.
+        self.nr_free = 0
+
+    # ------------------------------------------------------------------
+    # Range management
+    # ------------------------------------------------------------------
+
+    @property
+    def start_pfn(self) -> int:
+        return self.start_block * PAGEBLOCK_FRAMES
+
+    @property
+    def end_pfn(self) -> int:
+        return self.end_block * PAGEBLOCK_FRAMES
+
+    @property
+    def nr_blocks(self) -> int:
+        return self.end_block - self.start_block
+
+    @property
+    def nr_frames(self) -> int:
+        return self.nr_blocks * PAGEBLOCK_FRAMES
+
+    def contains(self, pfn: int) -> bool:
+        """Whether *pfn* lies in this allocator's managed range."""
+        return self.start_pfn <= pfn < self.end_pfn
+
+    def seed_free(self) -> None:
+        """Populate the free lists with the entire range as free pageblocks.
+
+        Called once at boot; every block enters at its pageblock's current
+        migrate type.
+        """
+        for block in range(self.start_block, self.end_block):
+            pfn = block * PAGEBLOCK_FRAMES
+            self._insert_free(pfn, MAX_ORDER, self.pageblocks.get(pfn))
+
+    def adopt_block(self, block: int, mt: MigrateType) -> None:
+        """Extend the managed range by one *fully free* pageblock.
+
+        Used when a Contiguitas region grows: the block must be adjacent to
+        the current range (boundary moves contiguously) and contain no live
+        allocations.
+        """
+        if block == self.start_block - 1:
+            self.start_block = block
+        elif block == self.end_block:
+            self.end_block = block + 1
+        else:
+            raise ConfigurationError(
+                f"{self.label}: block {block} not adjacent to "
+                f"[{self.start_block},{self.end_block})"
+            )
+        pfn = block * PAGEBLOCK_FRAMES
+        if self.mem.allocated_mask()[pfn:pfn + PAGEBLOCK_FRAMES].any():
+            raise ConfigurationError(f"adopting non-free block {block}")
+        self.pageblocks.set_block(block, mt)
+        self._insert_free(pfn, MAX_ORDER, mt)
+
+    def release_block(self, block: int) -> None:
+        """Shrink the managed range by one fully free edge pageblock.
+
+        The inverse of :meth:`adopt_block`; the caller re-adopts the block
+        into a sibling allocator.
+        """
+        if block not in (self.start_block, self.end_block - 1):
+            raise ConfigurationError(
+                f"{self.label}: block {block} is not at an edge"
+            )
+        pfn = block * PAGEBLOCK_FRAMES
+        if self.mem.free_order[pfn] != MAX_ORDER:
+            raise ConfigurationError(f"releasing non-free block {block}")
+        self._remove_free(pfn)
+        if block == self.start_block:
+            self.start_block += 1
+        else:
+            self.end_block -= 1
+
+    # ------------------------------------------------------------------
+    # Allocation / free
+    # ------------------------------------------------------------------
+
+    def alloc(
+        self,
+        order: int,
+        migratetype: MigrateType,
+        source: AllocSource = AllocSource.USER,
+        now: int = 0,
+        pinned: bool = False,
+        prefer: str | None = None,
+    ) -> int | None:
+        """Allocate ``2**order`` contiguous frames; returns head PFN or None.
+
+        Tries the requested migrate type's lists first, then (when fallback
+        is enabled) steals from other types per the Linux fallback policy.
+        Returns ``None`` when nothing fits — the caller (kernel facade)
+        decides whether to reclaim, compact, or fail.
+        """
+        direction = prefer or self.prefer
+        pfn = self._rmqueue(order, migratetype, direction)
+        if pfn is None and self.fallback_enabled:
+            pfn = self._alloc_fallback(order, migratetype, direction)
+        if pfn is None:
+            self.stat.inc(ev.ALLOC_FAIL)
+            return None
+        self.mem.mark_allocated(pfn, order, migratetype, source, now, pinned)
+        self.stat.inc(ev.ALLOC_SUCCESS)
+        return pfn
+
+    def take_free(
+        self,
+        order: int,
+        migratetype: MigrateType,
+        prefer: str | None = None,
+    ) -> int | None:
+        """Capture a free block of exactly *order* without marking it
+        allocated — migration code uses this to reserve a destination and
+        then transfers the source allocation's metadata onto it."""
+        return self._rmqueue(order, migratetype, prefer or self.prefer)
+
+    def free(self, pfn: int) -> int:
+        """Free the allocation headed at *pfn*; returns its order.
+
+        The freed block joins the free list matching its pageblock's
+        *current* migrate type and is merged with free buddies up to
+        pageblock size.
+        """
+        order = self.mem.mark_free(pfn)
+        self.stat.inc(ev.PAGES_FREED, 1 << order)
+        self.free_block(pfn, order)
+        return order
+
+    def free_block(self, pfn: int, order: int) -> None:
+        """Insert an already-cleared frame range into the free lists,
+        merging with buddies (low-level path shared with migration)."""
+        mem = self.mem
+        while order < MAX_ORDER:
+            buddy = pfn ^ (1 << order)
+            if not self.contains(buddy) or mem.free_order[buddy] != order:
+                break
+            self._remove_free(buddy)
+            pfn = min(pfn, buddy)
+            order += 1
+        self._insert_free(pfn, order, self.pageblocks.get(pfn))
+
+    # ------------------------------------------------------------------
+    # Targeted free-block capture (compaction / contig ranges / resizing)
+    # ------------------------------------------------------------------
+
+    def take_free_block(self, pfn: int) -> int:
+        """Remove the specific free block headed at *pfn* from the lists,
+        returning its order.  Used by the compaction free scanner."""
+        order = int(self.mem.free_order[pfn])
+        if order < 0:
+            raise ConfigurationError(f"pfn {pfn} is not a free-block head")
+        self._remove_free(pfn)
+        return order
+
+    def take_free_split(self, pfn: int, want_order: int) -> int:
+        """Capture a free block and split it down to *want_order*, returning
+        the head PFN of the captured sub-block; the remainder returns to the
+        free lists."""
+        order = self.take_free_block(pfn)
+        mt = self.pageblocks.get(pfn)
+        return self._expand(pfn, order, want_order, mt, "low")
+
+    def free_heads_in(self, start_pfn: int, end_pfn: int) -> list[int]:
+        """Head PFNs of free buddy blocks inside ``[start_pfn, end_pfn)``."""
+        import numpy as np
+
+        sl = self.mem.free_order[start_pfn:end_pfn]
+        return [int(i) + start_pfn for i in np.flatnonzero(sl >= 0)]
+
+    def move_freepages_block(self, block: int, new_mt: MigrateType) -> int:
+        """Move every free block inside pageblock *block* to *new_mt*'s
+        lists and retag the pageblock.  Returns frames moved.  This is
+        Linux's ``move_freepages_block``, invoked when a fallback steals a
+        whole pageblock."""
+        start, end = self.pageblocks.block_range(block)
+        moved = 0
+        for head in self.free_heads_in(start, end):
+            order = int(self.mem.free_order[head])
+            self._remove_free(head)
+            self._insert_free(head, order, new_mt)
+            moved += 1 << order
+        self.pageblocks.set_block(block, new_mt)
+        return moved
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _pop(flist: FreeList, direction: str) -> int:
+        if direction == "low":
+            return flist.pop_lowest()
+        if direction == "high":
+            return flist.pop_highest()
+        if direction == "fifo":
+            return flist.pop_fifo()
+        return flist.pop_lifo()
+
+    def _rmqueue(self, order: int, mt: MigrateType, direction: str) -> int | None:
+        """Pop the best free block of *mt* at order >= *order* and split."""
+        for o in range(order, MAX_ORDER + 1):
+            flist = self.free_lists[o][mt]
+            if not flist:
+                continue
+            pfn = self._pop(flist, direction)
+            self.mem.free_order[pfn] = -1
+            self.nr_free -= 1 << o
+            return self._expand(pfn, o, order, mt, direction)
+        return None
+
+    def _alloc_fallback(self, order: int, mt: MigrateType, direction: str) -> int | None:
+        """Steal from another migrate type, largest blocks first (Linux's
+        ``__rmqueue_fallback``), optionally claiming the whole pageblock."""
+        for o in range(MAX_ORDER, order - 1, -1):
+            for fb in fallback_types(mt):
+                flist = self.free_lists[o][fb]
+                if not flist:
+                    continue
+                pfn = self._pop(flist, direction)
+                self.mem.free_order[pfn] = -1
+                self.nr_free -= 1 << o
+                self.stat.inc(ev.ALLOC_FALLBACK)
+                if should_steal_pageblock(mt, o):
+                    block = self.mem.pageblock_of(pfn)
+                    if self.pageblocks.get_block(block) != mt:
+                        self.move_freepages_block(block, mt)
+                        self.stat.inc(ev.PAGEBLOCK_STEAL)
+                    tail_mt = mt
+                else:
+                    tail_mt = fb
+                return self._expand(pfn, o, order, mt, direction,
+                                    tail_mt=tail_mt)
+        return None
+
+    def _expand(
+        self,
+        pfn: int,
+        have_order: int,
+        want_order: int,
+        mt: MigrateType,
+        direction: str,
+        tail_mt: MigrateType | None = None,
+    ) -> int:
+        """Split a captured block of *have_order* down to *want_order*,
+        returning unused halves to the free lists.
+
+        With ``direction == "high"`` the caller receives the highest-addressed
+        sub-block so that a high-preferring allocator fills memory from the
+        top down.
+        """
+        tail_mt = mt if tail_mt is None else tail_mt
+        for o in range(have_order - 1, want_order - 1, -1):
+            if direction == "low":
+                self._insert_free(pfn + (1 << o), o, tail_mt)
+            else:
+                self._insert_free(pfn, o, tail_mt)
+                pfn += 1 << o
+        return pfn
+
+    def _insert_free(self, pfn: int, order: int, mt: MigrateType) -> None:
+        self.free_lists[order][mt].add(pfn)
+        self.mem.free_order[pfn] = order
+        self.mem.free_mt[pfn] = int(mt)
+        self.nr_free += 1 << order
+
+    def _remove_free(self, pfn: int) -> None:
+        order = int(self.mem.free_order[pfn])
+        mt = MigrateType(int(self.mem.free_mt[pfn]))
+        removed = self.free_lists[order][mt].discard(pfn)
+        assert removed, f"free block {pfn} not on list {order}/{mt}"
+        self.mem.free_order[pfn] = -1
+        self.nr_free -= 1 << order
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def free_frames_by_type(self) -> dict[MigrateType, int]:
+        """Free frames currently on each migrate type's lists."""
+        out = {mt: 0 for mt in MigrateType}
+        for order, lists in enumerate(self.free_lists):
+            for mt, flist in lists.items():
+                out[mt] += len(flist) << order
+        return out
+
+    def largest_free_order(self) -> int:
+        """Largest order with any free block, or -1 if nothing is free."""
+        for o in range(MAX_ORDER, -1, -1):
+            if any(self.free_lists[o][mt] for mt in MigrateType):
+                return o
+        return -1
+
+    def check_consistency(self) -> None:
+        """Assert free-list bookkeeping matches the frame arrays.
+
+        Used by tests and property-based checks; O(free blocks).
+        """
+        counted = 0
+        for order, lists in enumerate(self.free_lists):
+            for mt, flist in lists.items():
+                for pfn in flist:
+                    assert self.mem.free_order[pfn] == order, (
+                        f"pfn {pfn}: list order {order} != "
+                        f"array {self.mem.free_order[pfn]}"
+                    )
+                    assert self.mem.free_mt[pfn] == int(mt)
+                    assert not self.mem.is_allocated(pfn)
+                    counted += 1 << order
+        assert counted == self.nr_free, (
+            f"nr_free {self.nr_free} != counted {counted}"
+        )

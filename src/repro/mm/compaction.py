@@ -1,0 +1,141 @@
+"""Memory compaction: consolidate movable pages to create contiguity.
+
+Mirrors Linux's compaction design (paper §2.1): a *migration scanner* walks
+from the low end of the managed range collecting movable allocated pages,
+and a *free scanner* supplies free target pages from the high end.  Each
+moved page pays the full software-migration downtime (TLB shootdown + copy),
+which the compactor accounts so benchmarks can report the cost.
+
+Unmovable allocations are skipped — the fundamental limitation the paper
+quantifies: one unmovable 4 KiB page poisons its whole 2 MiB block, and no
+amount of compaction recovers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..units import MAX_ORDER
+from . import vmstat as ev
+from .buddy import BuddyAllocator
+from .handle import HandleRegistry
+from .migrate import MigrationCostModel, can_migrate_sw, move_allocation
+from .physmem import PhysicalMemory
+
+
+@dataclass
+class CompactionResult:
+    """Outcome of one compaction run."""
+
+    satisfied: bool = False
+    pages_migrated: int = 0
+    pages_skipped_unmovable: int = 0
+    downtime_cycles: int = 0
+    blocks_scanned: int = 0
+
+    def merge(self, other: "CompactionResult") -> None:
+        self.satisfied = self.satisfied or other.satisfied
+        self.pages_migrated += other.pages_migrated
+        self.pages_skipped_unmovable += other.pages_skipped_unmovable
+        self.downtime_cycles += other.downtime_cycles
+        self.blocks_scanned += other.blocks_scanned
+
+
+@dataclass
+class Compactor:
+    """Compaction driver over one buddy allocator.
+
+    Args:
+        mem: backing physical memory.
+        stat: event counter.
+        cost: software-migration cost model.
+        victim_cores: remote TLBs shot down per migration (cores - 1 on the
+            simulated machine); drives the downtime accounting.
+    """
+
+    mem: PhysicalMemory
+    stat: object
+    cost: MigrationCostModel = field(default_factory=MigrationCostModel)
+    victim_cores: int = 7
+
+    def compact(
+        self,
+        allocator: BuddyAllocator,
+        handles: HandleRegistry,
+        target_order: int = MAX_ORDER,
+        max_migrations: int | None = None,
+    ) -> CompactionResult:
+        """Run compaction until a free block of *target_order* exists (or
+        the scanners meet / the migration budget is exhausted).
+
+        Returns a :class:`CompactionResult`; ``satisfied`` reports whether a
+        free block of the target order is available afterwards.
+        """
+        self.stat.inc(ev.COMPACT_RUNS)
+        result = CompactionResult()
+        mem = self.mem
+
+        # The free scanner's lowest capture so far; the migration scanner
+        # stops when it reaches it (the two scanners "meet", as in Linux).
+        free_scan_floor = allocator.end_block
+
+        for block in range(allocator.start_block, allocator.end_block):
+            if block >= free_scan_floor:
+                break
+            if allocator.largest_free_order() >= target_order:
+                break
+            result.blocks_scanned += 1
+            start = block * (1 << MAX_ORDER)
+            end = start + (1 << MAX_ORDER)
+            heads = (np.flatnonzero(mem.alloc_order[start:end] >= 0)
+                     + start).tolist()
+            for src in heads:
+                if max_migrations is not None and (
+                        result.pages_migrated >= max_migrations):
+                    result.satisfied = (
+                        allocator.largest_free_order() >= target_order)
+                    return result
+                info = mem.allocation_info(src)
+                if not can_migrate_sw(info):
+                    result.pages_skipped_unmovable += info.nframes
+                    continue
+                dst = self._take_free_above(allocator, info.order, src)
+                if dst is None:
+                    continue
+                free_scan_floor = min(free_scan_floor,
+                                      self.mem.pageblock_of(dst))
+                move_allocation(mem, src, dst)
+                allocator.free_block(src, info.order)
+                handles.relocate(src, dst)
+                result.pages_migrated += info.nframes
+                result.downtime_cycles += self.cost.downtime_cycles(
+                    self.victim_cores, info.nframes)
+                self.stat.inc(ev.COMPACT_MIGRATED, info.nframes)
+                self.stat.inc(ev.TLB_SHOOTDOWNS)
+
+        result.satisfied = allocator.largest_free_order() >= target_order
+        return result
+
+    def _take_free_above(
+        self, allocator: BuddyAllocator, order: int, above_pfn: int,
+    ) -> int | None:
+        """Capture a free sub-block of exactly *order* whose head PFN is the
+        highest available strictly above *above_pfn* (the free scanner)."""
+        best_pfn = -1
+        best_order = -1
+        for o in range(order, MAX_ORDER + 1):
+            for flist in allocator.free_lists[o].values():
+                if not flist:
+                    continue
+                try:
+                    head = flist.peek_highest()
+                except KeyError:
+                    continue
+                if head > above_pfn and head > best_pfn:
+                    best_pfn, best_order = head, o
+        if best_pfn < 0:
+            return None
+        # Capture and split; the remainder returns to the free lists.
+        return allocator.take_free_split(best_pfn, order)

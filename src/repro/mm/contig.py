@@ -1,0 +1,140 @@
+"""Range evacuation: make a pageblock-aligned frame range fully free.
+
+This is the simulator's ``alloc_contig_range`` building block.  Both HugeTLB
+1 GiB reservations and Contiguitas region-boundary moves need to empty a
+specific physical range by migrating its movable contents elsewhere; both
+fail the moment the range contains an unmovable page — which is why, on
+stock Linux, dynamically allocating a 1 GiB page in production is
+"practically impossible" (paper §2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..units import MAX_ORDER
+from . import vmstat as ev
+from .buddy import BuddyAllocator
+from .handle import HandleRegistry
+from .migrate import MigrationCostModel, can_migrate_sw, move_allocation
+from .physmem import PhysicalMemory
+
+
+@dataclass
+class EvacuationResult:
+    """Outcome of one range-evacuation attempt."""
+
+    success: bool = False
+    pages_migrated: int = 0
+    downtime_cycles: int = 0
+    #: Head PFN of the first unmovable allocation that blocked the range,
+    #: or None when the evacuation succeeded.
+    blocked_by: int | None = None
+
+
+@dataclass
+class RangeEvacuator:
+    """Evacuates pageblock-aligned ranges out of a buddy allocator."""
+
+    mem: PhysicalMemory
+    stat: object
+    cost: MigrationCostModel = field(default_factory=MigrationCostModel)
+    victim_cores: int = 7
+
+    def evacuate(
+        self,
+        allocator: BuddyAllocator,
+        handles: HandleRegistry,
+        start_pfn: int,
+        end_pfn: int,
+        hardware_assisted: bool = False,
+    ) -> EvacuationResult:
+        """Migrate every allocation out of ``[start_pfn, end_pfn)``.
+
+        On success the range consists solely of free buddy blocks (still on
+        the allocator's free lists, fully merged).  On failure — an
+        unmovable page in the range, or no free space outside it — movable
+        pages already migrated stay at their new homes, mirroring a partial
+        ``alloc_contig_range`` failure.
+
+        With ``hardware_assisted=True`` the Contiguitas-HW engine performs
+        the copies: unmovable pages can move too, and no downtime accrues
+        (the page stays accessible throughout, paper §3.3).
+        """
+        result = EvacuationResult()
+        mem = self.mem
+        heads = (np.flatnonzero(mem.alloc_order[start_pfn:end_pfn] >= 0)
+                 + start_pfn).tolist()
+        for src in heads:
+            info = mem.allocation_info(src)
+            if not hardware_assisted and not can_migrate_sw(info):
+                result.blocked_by = src
+                self.stat.inc(ev.MIGRATE_FAIL)
+                return result
+            dst = self._take_free_outside(
+                allocator, info.order, start_pfn, end_pfn)
+            if dst is None:
+                result.blocked_by = src
+                self.stat.inc(ev.MIGRATE_FAIL)
+                return result
+            move_allocation(mem, src, dst, hardware_assisted)
+            allocator.free_block(src, info.order)
+            handles.relocate(src, dst)
+            result.pages_migrated += info.nframes
+            if hardware_assisted:
+                self.stat.inc(ev.HW_MIGRATIONS)
+            else:
+                result.downtime_cycles += self.cost.downtime_cycles(
+                    self.victim_cores, info.nframes)
+                self.stat.inc(ev.TLB_SHOOTDOWNS)
+            self.stat.inc(ev.MIGRATE_SUCCESS)
+        result.success = True
+        return result
+
+    def capture_range(
+        self,
+        allocator: BuddyAllocator,
+        start_pfn: int,
+        end_pfn: int,
+    ) -> None:
+        """Pull every free block in the (fully free) range off the free
+        lists, handing ownership of the frames to the caller."""
+        for head in allocator.free_heads_in(start_pfn, end_pfn):
+            allocator.take_free_block(head)
+
+    def _take_free_outside(
+        self,
+        allocator: BuddyAllocator,
+        order: int,
+        start_pfn: int,
+        end_pfn: int,
+    ) -> int | None:
+        """Capture a free sub-block of *order* headed outside the range.
+
+        Free blocks never straddle a pageblock boundary (MAX_ORDER is one
+        pageblock), so a head outside a pageblock-aligned range means the
+        whole block is outside.
+        """
+        best = None
+        for o in range(order, MAX_ORDER + 1):
+            for flist in allocator.free_lists[o].values():
+                if not flist:
+                    continue
+                for peek in (flist.peek_highest, flist.peek_lowest):
+                    try:
+                        head = peek()
+                    except KeyError:
+                        continue
+                    if head < start_pfn or head >= end_pfn:
+                        # Prefer the farthest candidate from the range so
+                        # evacuations do not immediately refill nearby blocks.
+                        dist = min(abs(head - start_pfn), abs(head - end_pfn))
+                        if best is None or dist > best[0]:
+                            best = (dist, head)
+            if best is not None:
+                break
+        if best is None:
+            return None
+        return allocator.take_free_split(best[1], order)

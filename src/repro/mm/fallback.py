@@ -1,0 +1,40 @@
+"""Fallback allocation policy: which free lists an allocation may steal from.
+
+This mirrors Linux's ``fallbacks[MIGRATE_TYPES]`` table and the
+``can_steal_fallback`` heuristic.  Fallback is the mechanism that lets an
+unmovable allocation land inside a movable pageblock when its own lists are
+empty — the root cause of the fragmentation the paper measures (§2.5):
+once one unmovable page sits in a block, the block can never again be fully
+compacted.
+"""
+
+from __future__ import annotations
+
+from ..units import PAGEBLOCK_ORDER
+from .page import MigrateType
+
+#: Fallback search order per requesting migrate type, matching Linux.
+FALLBACK_ORDER: dict[MigrateType, tuple[MigrateType, ...]] = {
+    MigrateType.UNMOVABLE: (MigrateType.RECLAIMABLE, MigrateType.MOVABLE),
+    MigrateType.MOVABLE: (MigrateType.RECLAIMABLE, MigrateType.UNMOVABLE),
+    MigrateType.RECLAIMABLE: (MigrateType.UNMOVABLE, MigrateType.MOVABLE),
+}
+
+
+def fallback_types(mt: MigrateType) -> tuple[MigrateType, ...]:
+    """Migrate types to try, in order, when *mt*'s own lists are empty."""
+    return FALLBACK_ORDER[mt]
+
+
+def should_steal_pageblock(requested: MigrateType, fallback_order: int) -> bool:
+    """Decide whether a fallback allocation claims the whole pageblock.
+
+    Mirrors Linux's ``can_steal_fallback``: stealing the block (changing its
+    migrate type and moving its remaining free pages) happens when the
+    fallback block is large, or when the requester is unmovable/reclaimable —
+    kernel allocations are greedy precisely because mixing them into movable
+    blocks is what Linux tries (and fails) to avoid.
+    """
+    if fallback_order >= PAGEBLOCK_ORDER // 2:
+        return True
+    return requested in (MigrateType.UNMOVABLE, MigrateType.RECLAIMABLE)

@@ -1,0 +1,127 @@
+"""Address-ordered free list with O(log n) lowest/highest extraction.
+
+The buddy allocator keeps one :class:`FreeList` per (order, migrate type)
+pair.  Linux's free lists are FIFO-ish; we use address ordering because
+
+* it makes allocation deterministic (important for reproducible benches),
+* Contiguitas's placement policy (§3.2) needs "the free block farthest from
+  the region border", i.e. ordered extraction from either end.
+
+Stock Linux free lists, by contrast, are LIFO: a freed block is pushed at
+the list head and the next allocation pops it.  That temporal order is what
+scatters allocations across the address space on a busy machine (the next
+unmovable allocation lands wherever something was just freed), so the
+LIFO/FIFO extraction modes here are not a convenience — the Linux-baseline
+fragmentation behaviour depends on them.
+
+Implementation: a membership set, two lazy-deletion heaps for address
+order, and a lazy-deletion deque for temporal order.  Stale entries (PFNs
+no longer in the set) are skipped on pop, so removal of an arbitrary block
+— required when the buddy allocator merges neighbours or compaction
+captures a specific range — stays O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Iterator
+
+
+class FreeList:
+    """A set of free-block head PFNs supporting ordered extraction."""
+
+    __slots__ = ("_members", "_min_heap", "_max_heap", "_queue")
+
+    def __init__(self) -> None:
+        self._members: set[int] = set()
+        self._min_heap: list[int] = []
+        self._max_heap: list[int] = []
+        self._queue: deque[int] = deque()
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __bool__(self) -> bool:
+        return bool(self._members)
+
+    def __contains__(self, pfn: int) -> bool:
+        return pfn in self._members
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate members in arbitrary order (set order)."""
+        return iter(self._members)
+
+    def add(self, pfn: int) -> None:
+        """Insert a free block head; no-op if already present."""
+        if pfn in self._members:
+            return
+        self._members.add(pfn)
+        heapq.heappush(self._min_heap, pfn)
+        heapq.heappush(self._max_heap, -pfn)
+        self._queue.append(pfn)
+
+    def discard(self, pfn: int) -> bool:
+        """Remove *pfn* if present; returns whether it was present.
+
+        The heap entries become stale and are skipped lazily by the pop
+        methods.
+        """
+        if pfn in self._members:
+            self._members.remove(pfn)
+            return True
+        return False
+
+    def pop_lowest(self) -> int:
+        """Remove and return the lowest PFN (raises KeyError if empty)."""
+        while self._min_heap:
+            pfn = heapq.heappop(self._min_heap)
+            if pfn in self._members:
+                self._members.remove(pfn)
+                return pfn
+        raise KeyError("pop from empty FreeList")
+
+    def pop_highest(self) -> int:
+        """Remove and return the highest PFN (raises KeyError if empty)."""
+        while self._max_heap:
+            pfn = -heapq.heappop(self._max_heap)
+            if pfn in self._members:
+                self._members.remove(pfn)
+                return pfn
+        raise KeyError("pop from empty FreeList")
+
+    def pop_lifo(self) -> int:
+        """Remove and return the most recently added PFN (Linux list-head
+        behaviour); raises KeyError if empty."""
+        while self._queue:
+            pfn = self._queue.pop()
+            if pfn in self._members:
+                self._members.remove(pfn)
+                return pfn
+        raise KeyError("pop from empty FreeList")
+
+    def pop_fifo(self) -> int:
+        """Remove and return the oldest added PFN; raises KeyError if
+        empty."""
+        while self._queue:
+            pfn = self._queue.popleft()
+            if pfn in self._members:
+                self._members.remove(pfn)
+                return pfn
+        raise KeyError("pop from empty FreeList")
+
+    def peek_lowest(self) -> int:
+        """Return the lowest PFN without removing it."""
+        while self._min_heap and self._min_heap[0] not in self._members:
+            heapq.heappop(self._min_heap)
+        if not self._min_heap:
+            raise KeyError("peek on empty FreeList")
+        return self._min_heap[0]
+
+    def peek_highest(self) -> int:
+        """Return the highest PFN without removing it."""
+        while self._max_heap and -self._max_heap[0] not in self._members:
+            heapq.heappop(self._max_heap)
+        if not self._max_heap:
+            raise KeyError("peek on empty FreeList")
+        return -self._max_heap[0]

@@ -1,0 +1,461 @@
+"""The simulated kernel: allocation API, slow paths, THP, HugeTLB.
+
+:class:`LinuxKernel` is the baseline system the paper measures against —
+one buddy allocator over all of physical memory, migrate-type free lists
+with fallback stealing, direct reclaim and compaction in the allocation
+slow path, THP at fault time, and ``alloc_contig_range``-style 1 GiB
+HugeTLB reservations.
+
+:class:`~repro.core.kernel.ContiguitasKernel` subclasses this facade and
+replaces the single allocator with the two confined regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ContiguityError, OutOfMemoryError
+from ..units import GIGAPAGE_FRAMES, MAX_ORDER, PAGEBLOCK_FRAMES
+from . import vmstat as ev
+from .buddy import BuddyAllocator
+from .compaction import Compactor
+from .contig import RangeEvacuator
+from .handle import HandleRegistry, PageHandle
+from .migrate import MigrationCostModel
+from .page import AllocSource, MigrateType
+from .pageblock import PageblockTable
+from .physmem import PhysicalMemory
+from .psi import PsiTracker
+from .reclaim import ReclaimLRU, Watermarks
+from .vmstat import VmStat
+
+#: Default migrate type per allocation source (callers may override).
+DEFAULT_MIGRATETYPE: dict[AllocSource, MigrateType] = {
+    AllocSource.USER: MigrateType.MOVABLE,
+    AllocSource.NETWORKING: MigrateType.UNMOVABLE,
+    AllocSource.SLAB: MigrateType.UNMOVABLE,
+    AllocSource.FILESYSTEM: MigrateType.UNMOVABLE,
+    AllocSource.PAGETABLE: MigrateType.UNMOVABLE,
+    AllocSource.KERNEL_OTHER: MigrateType.UNMOVABLE,
+    AllocSource.KERNEL_CODE: MigrateType.UNMOVABLE,
+}
+
+
+@dataclass
+class KernelConfig:
+    """Tunables shared by all kernel variants.
+
+    Attributes:
+        mem_bytes: physical memory size (multiple of 2 MiB).
+        cores: simulated core count; remote TLB victims = cores - 1.
+        thp_enabled: whether ``alloc_thp`` attempts 2 MiB pages.
+        compaction_enabled: whether the slow path may compact.
+        migration_cost: software page-migration cost model.
+        reclaim_stall_ticks: stall charged per direct-reclaim episode (µs).
+        compact_stall_per_page_ticks: stall charged per page compaction
+            moves on the allocation path (µs).
+        psi_halflife_ticks: PSI averaging half-life (µs).
+    """
+
+    mem_bytes: int = 256 * 1024 * 1024
+    cores: int = 8
+    thp_enabled: bool = True
+    compaction_enabled: bool = True
+    migration_cost: MigrationCostModel = field(
+        default_factory=MigrationCostModel)
+    reclaim_stall_ticks: float = 50.0
+    compact_stall_per_page_ticks: float = 3.0
+    #: Direct-compaction budget per allocation attempt, in migrated
+    #: pages.  Linux bounds direct compaction the same way: a THP fault
+    #: tries briefly and falls back rather than compacting the world.
+    compact_budget_pages: int = 768
+    #: Budget for the THP fault path specifically — much lighter, as in
+    #: Linux, where a huge-page fault must not stall the application.
+    thp_compact_budget_pages: int = 160
+    #: Route order-0 traffic through per-CPU page caches (Linux PCP).
+    #: Off by default; the PCP ablation benchmark turns it on.
+    pcp_enabled: bool = False
+    pcp_batch: int = 32
+    pcp_high: int = 96
+    psi_halflife_ticks: float = 1_000_000.0
+
+    @property
+    def victim_cores(self) -> int:
+        return max(0, self.cores - 1)
+
+
+class LinuxKernel:
+    """Baseline kernel: one buddy allocator, fallback enabled."""
+
+    name = "linux"
+
+    def __init__(self, config: KernelConfig | None = None) -> None:
+        self.config = config or KernelConfig()
+        self.now = 0
+        self.stat = VmStat()
+        self.mem = PhysicalMemory(self.config.mem_bytes)
+        self.pageblocks = PageblockTable(self.mem)
+        self.handles = HandleRegistry()
+        self.reclaim_lru = ReclaimLRU(self.stat)
+        self.psi = PsiTracker(self.config.psi_halflife_ticks)
+        self._build_allocators()
+        self.compactor = Compactor(
+            self.mem, self.stat, self.config.migration_cost,
+            victim_cores=self.config.victim_cores)
+        self.evacuator = RangeEvacuator(
+            self.mem, self.stat, self.config.migration_cost,
+            victim_cores=self.config.victim_cores)
+        import random as _random
+
+        self._scan_rng = _random.Random(0xC0417)
+        self._pcp: dict[str, object] = {}
+        if self.config.pcp_enabled:
+            from .pcp import PerCpuPages
+
+            for alloc in self.allocators():
+                self._pcp[alloc.label] = PerCpuPages(
+                    alloc, cpus=self.config.cores,
+                    batch=self.config.pcp_batch,
+                    high=self.config.pcp_high)
+        # Deferred compaction (Linux's defer_compaction): after a failed
+        # targeted compaction, skip the expensive path for the next
+        # 2**shift high-order slow-path entries.
+        self._compact_defer_shift = 0
+        self._compact_skip_remaining = 0
+
+    # -- construction hooks (overridden by Contiguitas) -----------------
+
+    def _build_allocators(self) -> None:
+        # LIFO free lists: stock Linux reuses just-freed blocks first,
+        # which is what scatters allocations across the address space.
+        self.buddy = BuddyAllocator(
+            self.mem, self.pageblocks, self.stat, prefer="lifo",
+            label="zone-normal")
+        self.buddy.seed_free()
+        self.watermarks = Watermarks.for_frames(self.buddy.nr_frames)
+
+    def allocator_for(self, pfn: int) -> BuddyAllocator:
+        """The buddy allocator managing *pfn*."""
+        return self.buddy
+
+    def allocator_for_request(
+        self, migratetype: MigrateType, source: AllocSource, pinned: bool,
+    ) -> BuddyAllocator:
+        """The allocator a new request should be served from."""
+        return self.buddy
+
+    def allocators(self) -> list[BuddyAllocator]:
+        return [self.buddy]
+
+    # -- time ------------------------------------------------------------
+
+    def advance(self, dt: int = 1000) -> None:
+        """Advance simulated time by *dt* ticks (µs) and run periodic work:
+        PSI sampling and kswapd-style background reclaim."""
+        self.now += dt
+        self.psi.sample(dt)
+        self._periodic_work()
+
+    def _periodic_work(self) -> None:
+        for alloc in self.allocators():
+            wm = self._watermarks_for(alloc)
+            if alloc.nr_free < wm.low:
+                self.reclaim_lru.reclaim(
+                    self.free_pages, wm.high - alloc.nr_free)
+
+    def _watermarks_for(self, alloc: BuddyAllocator) -> Watermarks:
+        return self.watermarks
+
+    # -- allocation API ----------------------------------------------------
+
+    def alloc_pages(
+        self,
+        order: int = 0,
+        source: AllocSource = AllocSource.USER,
+        migratetype: MigrateType | None = None,
+        pinned: bool = False,
+        reclaimable: bool = False,
+        compact_budget: int | None = None,
+    ) -> PageHandle:
+        """Allocate ``2**order`` contiguous frames.
+
+        Runs the slow path (direct reclaim, then compaction for high-order
+        requests) on failure, charging PSI stalls as it goes.
+        ``compact_budget`` overrides the direct-compaction page budget
+        (the THP fault path passes a lighter one).
+
+        Raises:
+            OutOfMemoryError: when the slow path cannot satisfy the request.
+        """
+        mt = migratetype if migratetype is not None else (
+            DEFAULT_MIGRATETYPE[source])
+        allocator = self.allocator_for_request(mt, source, pinned)
+        pfn = None
+        pcp = self._pcp.get(allocator.label) if order == 0 else None
+        if pcp is not None:
+            pfn = pcp.alloc(mt, source, self.now, pinned)
+        if pfn is None:
+            pfn = allocator.alloc(order, mt, source, self.now, pinned)
+        if pfn is None:
+            pfn = self._slow_path(allocator, order, mt, source, pinned,
+                                  compact_budget)
+        handle = PageHandle(pfn, order, mt, source, self.now, pinned,
+                            reclaimable=reclaimable)
+        self.handles.register(handle)
+        if reclaimable:
+            self.reclaim_lru.register(handle)
+        return handle
+
+    def _slow_path(
+        self,
+        allocator: BuddyAllocator,
+        order: int,
+        mt: MigrateType,
+        source: AllocSource,
+        pinned: bool,
+        compact_budget: int | None = None,
+    ) -> int:
+        """Direct reclaim, then compaction, then OOM."""
+        self._record_stall(allocator, self.config.reclaim_stall_ticks)
+        self.drain_pcp()
+        wm = self._watermarks_for(allocator)
+        want = max(1 << order, wm.high - allocator.nr_free)
+        self.reclaim_lru.reclaim(self.free_pages, want)
+        pfn = allocator.alloc(order, mt, source, self.now, pinned)
+        if pfn is not None:
+            return pfn
+
+        if order > 0 and self.config.compaction_enabled:
+            if compact_budget is None:
+                compact_budget = self.config.compact_budget_pages
+            result = self.compactor.compact(
+                allocator, self.handles, target_order=order,
+                max_migrations=compact_budget)
+            self._record_stall(
+                allocator,
+                result.pages_migrated
+                * self.config.compact_stall_per_page_ticks)
+            pfn = allocator.alloc(order, mt, source, self.now, pinned)
+            if pfn is not None:
+                return pfn
+            if self._compact_skip_remaining > 0:
+                self._compact_skip_remaining -= 1
+            elif self._reclaim_compact(allocator, order, compact_budget):
+                self._compact_defer_shift = 0
+                pfn = allocator.alloc(order, mt, source, self.now, pinned)
+                if pfn is not None:
+                    return pfn
+            else:
+                self._compact_defer_shift = min(
+                    self._compact_defer_shift + 1, 6)
+                self._compact_skip_remaining = 1 << self._compact_defer_shift
+
+        self._record_stall(allocator, self.config.reclaim_stall_ticks)
+        raise OutOfMemoryError(
+            f"{self.name}: order-{order} {mt.name} allocation failed "
+            f"({allocator.label}: {allocator.nr_free} frames free)")
+
+    def _record_stall(self, allocator: BuddyAllocator, ticks: float) -> None:
+        self.psi.record_stall(ticks)
+
+    #: Budget units charged per candidate block inspected during targeted
+    #: reclaim-compaction; bounds how far a single allocation may search.
+    #: Sized so a THP-fault budget affords only one or two candidates.
+    SCAN_COST = 96
+
+    def _reclaim_compact(self, allocator: BuddyAllocator, order: int,
+                         budget: int | None) -> bool:
+        """Targeted reclaim-for-compaction (Linux's high-order slow path).
+
+        Scans randomly chosen aligned candidate ranges of ``2**order``
+        frames; a candidate is viable when it contains no unmovable page
+        and its non-reclaimable movable content fits the migration budget.
+        Page-cache pages in the range are simply dropped, the rest are
+        migrated out, and the emptied range merges into the free block
+        the caller wanted.  The scan budget is what makes THP coverage
+        probabilistic on fragmented machines: each inspected block costs
+        ``SCAN_COST`` units, so a light (THP-fault) budget gives up after
+        a handful of poisoned or busy candidates.
+        """
+        import numpy as np
+
+        if budget is None:
+            budget = self.config.compact_budget_pages
+        size = 1 << order
+        span = allocator.end_pfn - allocator.start_pfn
+        ncands = span // size
+        if ncands <= 0:
+            return False
+        while budget > 0:
+            budget -= self.SCAN_COST
+            start = allocator.start_pfn + self._scan_rng.randrange(
+                ncands) * size
+            end = start + size
+            if self.mem.unmovable_mask()[start:end].any():
+                continue
+            heads = (np.flatnonzero(self.mem.alloc_order[start:end] >= 0)
+                     + start).tolist()
+            movers = []
+            mover_frames = 0
+            droppable = []
+            for head in heads:
+                handle = self.handles.get(head)
+                if handle.reclaimable:
+                    droppable.append(handle)
+                else:
+                    movers.append(handle)
+                    mover_frames += handle.nframes
+            if mover_frames > budget:
+                continue
+            ok = True
+            for handle in droppable:
+                self.free_pages(handle)
+            for handle in movers:
+                dst = self.evacuator._take_free_outside(
+                    allocator, handle.order, start, end)
+                if dst is None:
+                    ok = False
+                    break
+                src = handle.pfn
+                from .migrate import move_allocation
+
+                move_allocation(self.mem, src, dst)
+                allocator.free_block(src, handle.order)
+                self.handles.relocate(src, dst)
+                budget -= handle.nframes
+                self.stat.inc(ev.COMPACT_MIGRATED, handle.nframes)
+            if ok:
+                return True
+        return False
+
+    def free_pages(self, handle: PageHandle) -> None:
+        """Release an allocation (any order, including gigapages)."""
+        assert not handle.freed, "double free"
+        self.reclaim_lru.forget(handle)
+        self.handles.on_free(handle)
+        if handle.order <= MAX_ORDER:
+            allocator = self.allocator_for(handle.pfn)
+            pcp = (self._pcp.get(allocator.label)
+                   if handle.order == 0 else None)
+            if pcp is not None:
+                self.stat.inc(ev.PAGES_FREED)
+                pcp.free(handle.pfn)
+            else:
+                allocator.free(handle.pfn)
+            return
+        # Gigapage-sized: clear and reinsert pageblock by pageblock.
+        self.mem.mark_free(handle.pfn)
+        self.stat.inc(ev.PAGES_FREED, handle.nframes)
+        for pfn in range(handle.pfn, handle.pfn + handle.nframes,
+                         PAGEBLOCK_FRAMES):
+            self.allocator_for(pfn).free_block(pfn, MAX_ORDER)
+
+    # -- pinning -----------------------------------------------------------
+
+    def pin_pages(self, handle: PageHandle) -> None:
+        """Pin an allocation for DMA/RDMA: it becomes unmovable in place.
+
+        On stock Linux the page stays wherever it is — this is the dynamic
+        pollution of movable memory that Contiguitas prevents (§3.2).
+        """
+        handle.pinned = True
+        self.mem.pin(handle.pfn)
+
+    def unpin_pages(self, handle: PageHandle) -> None:
+        handle.pinned = False
+        self.mem.unpin(handle.pfn)
+
+    # -- huge pages ----------------------------------------------------------
+
+    def alloc_thp(self, source: AllocSource = AllocSource.USER,
+                  reclaimable: bool = False) -> PageHandle | None:
+        """Attempt a 2 MiB transparent huge page; None on fallback.
+
+        Mirrors the THP fault path: try the huge allocation, compact once
+        if needed, and let the caller fall back to base pages.
+        """
+        if not self.config.thp_enabled:
+            self.stat.inc(ev.THP_FALLBACK)
+            return None
+        try:
+            handle = self.alloc_pages(
+                MAX_ORDER, source, MigrateType.MOVABLE,
+                reclaimable=reclaimable,
+                compact_budget=self.config.thp_compact_budget_pages)
+        except OutOfMemoryError:
+            self.stat.inc(ev.THP_FALLBACK)
+            return None
+        self.stat.inc(ev.THP_ALLOC)
+        return handle
+
+    def alloc_gigapage(self) -> PageHandle:
+        """Reserve a 1 GiB HugeTLB page via range evacuation.
+
+        Scans 1 GiB-aligned candidate ranges, skips any containing
+        unmovable pages, and evacuates the best candidate.
+
+        Raises:
+            ContiguityError: no candidate range could be emptied.
+        """
+        handle = self._alloc_contig(GIGAPAGE_FRAMES)
+        if handle is None:
+            self.stat.inc(ev.HUGETLB_1G_FAIL)
+            raise ContiguityError(
+                f"{self.name}: no 1GiB range could be assembled")
+        self.stat.inc(ev.HUGETLB_1G_ALLOC)
+        return handle
+
+    def _contig_candidates(self, nframes: int) -> list[tuple[int, int]]:
+        """Aligned candidate ranges for a contiguous allocation, best
+        candidates (fewest unmovable frames) first."""
+        unmovable = self.mem.unmovable_mask()
+        out = []
+        for start in range(0, self.mem.nframes - nframes + 1, nframes):
+            blockers = int(np.count_nonzero(unmovable[start:start + nframes]))
+            out.append((blockers, start))
+        out.sort()
+        return [(start, start + nframes) for blockers, start in out
+                if blockers == 0]
+
+    def _alloc_contig(self, nframes: int) -> PageHandle | None:
+        self.drain_pcp()
+        order = (nframes - 1).bit_length()
+        assert (1 << order) == nframes, "contig size must be a power of two"
+        for start, end in self._contig_candidates(nframes):
+            allocator = self.allocator_for(start)
+            if not (allocator.contains(start) and allocator.contains(end - 1)):
+                continue
+            result = self.evacuator.evacuate(
+                allocator, self.handles, start, end)
+            if not result.success:
+                continue
+            self.evacuator.capture_range(allocator, start, end)
+            self.mem.mark_allocated(
+                start, order, MigrateType.MOVABLE, AllocSource.USER, self.now)
+            handle = PageHandle(start, order, MigrateType.MOVABLE,
+                                AllocSource.USER, self.now)
+            self.handles.register(handle)
+            return handle
+        return None
+
+    # -- introspection ---------------------------------------------------------
+
+    def drain_pcp(self) -> int:
+        """Flush per-CPU page caches back to the buddy lists (done before
+        compaction and contiguous allocation)."""
+        return sum(pcp.drain() for pcp in self._pcp.values())
+
+    def free_frames(self) -> int:
+        return (sum(a.nr_free for a in self.allocators())
+                + sum(p.held_pages() for p in self._pcp.values()))
+
+    def check_consistency(self) -> None:
+        """Cross-check buddy bookkeeping against the frame arrays."""
+        for alloc in self.allocators():
+            alloc.check_consistency()
+        free = self.mem.free_frames()
+        on_lists = self.free_frames()
+        assert free == on_lists, (
+            f"{free} frames free in mem vs {on_lists} on free lists")

@@ -1,0 +1,173 @@
+"""Physical memory model: packed per-frame state arrays.
+
+:class:`PhysicalMemory` is the ground truth that every other component
+(buddy allocator, compaction, Contiguitas regions, analysis scans) reads and
+writes.  Per-frame metadata is stored in numpy arrays so that full-memory
+scans — the measurement the paper performs across Meta's fleet (§2.4) — are
+vectorised and fast even for multi-GiB simulated machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import FRAME_SIZE, PAGEBLOCK_FRAMES, bytes_to_frames
+from .page import AllocationInfo, AllocSource, MigrateType, PageFlag
+
+_F_ALLOCATED = 1 << PageFlag.ALLOCATED
+_F_HEAD = 1 << PageFlag.HEAD
+_F_PINNED = 1 << PageFlag.PINNED
+_F_MIGRATING = 1 << PageFlag.UNDER_MIGRATION
+
+
+class PhysicalMemory:
+    """The frame array of one simulated server.
+
+    Args:
+        size_bytes: total physical memory; must be a whole number of
+            pageblocks (2 MiB) so pageblock metadata lines up.
+
+    Attributes (per-frame numpy arrays, indexed by PFN):
+        flags: bitfield of :class:`~repro.mm.page.PageFlag`.
+        migratetype: migrate type of the owning allocation (undefined when
+            free).
+        source: :class:`~repro.mm.page.AllocSource` of the owning allocation.
+        free_order: order of the free buddy block headed at this frame, or
+            -1 when the frame is not a free-block head (buddy bookkeeping).
+        free_mt: migrate-type free list currently holding the free block
+            headed at this frame (buddy bookkeeping, valid where
+            ``free_order >= 0``).
+        alloc_order: order of the allocation headed here, or -1.
+        head_of: PFN of the allocation head owning this frame (valid only
+            where ALLOCATED is set).
+        birth: tick at which the allocation headed here was made.
+    """
+
+    def __init__(self, size_bytes: int) -> None:
+        nframes = bytes_to_frames(size_bytes)
+        if nframes <= 0 or nframes % PAGEBLOCK_FRAMES:
+            raise ConfigurationError(
+                f"memory size {size_bytes} must be a positive multiple of "
+                f"{PAGEBLOCK_FRAMES * FRAME_SIZE} bytes"
+            )
+        self.size_bytes = size_bytes
+        self.nframes = nframes
+        self.npageblocks = nframes // PAGEBLOCK_FRAMES
+
+        self.flags = np.zeros(nframes, dtype=np.uint8)
+        self.migratetype = np.zeros(nframes, dtype=np.int8)
+        self.source = np.zeros(nframes, dtype=np.int8)
+        self.free_order = np.full(nframes, -1, dtype=np.int8)
+        self.free_mt = np.zeros(nframes, dtype=np.int8)
+        self.alloc_order = np.full(nframes, -1, dtype=np.int8)
+        self.head_of = np.zeros(nframes, dtype=np.int64)
+        self.birth = np.zeros(nframes, dtype=np.int64)
+
+        #: Live allocation heads, maintained for iteration by analyses.
+        self.alloc_heads: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Allocation bookkeeping (called by the buddy allocator / migration)
+    # ------------------------------------------------------------------
+
+    def mark_allocated(
+        self,
+        pfn: int,
+        order: int,
+        migratetype: MigrateType,
+        source: AllocSource,
+        birth: int,
+        pinned: bool = False,
+    ) -> None:
+        """Record a live allocation of ``2**order`` frames headed at *pfn*."""
+        end = pfn + (1 << order)
+        assert not self.flags[pfn:end].any(), "double allocation"
+        self.flags[pfn:end] = _F_ALLOCATED | (_F_PINNED if pinned else 0)
+        self.flags[pfn] |= _F_HEAD
+        self.migratetype[pfn:end] = int(migratetype)
+        self.source[pfn:end] = int(source)
+        self.head_of[pfn:end] = pfn
+        self.alloc_order[pfn] = order
+        self.birth[pfn] = birth
+        self.alloc_heads.add(pfn)
+
+    def mark_free(self, pfn: int) -> int:
+        """Clear a live allocation headed at *pfn*; returns its order."""
+        order = int(self.alloc_order[pfn])
+        assert order >= 0, f"freeing non-head pfn {pfn}"
+        end = pfn + (1 << order)
+        self.flags[pfn:end] = 0
+        self.alloc_order[pfn] = -1
+        self.alloc_heads.discard(pfn)
+        return order
+
+    def pin(self, pfn: int) -> None:
+        """Pin the allocation headed at *pfn* (becomes unmovable)."""
+        end = pfn + (1 << int(self.alloc_order[pfn]))
+        self.flags[pfn:end] |= _F_PINNED
+
+    def unpin(self, pfn: int) -> None:
+        """Unpin the allocation headed at *pfn*."""
+        end = pfn + (1 << int(self.alloc_order[pfn]))
+        self.flags[pfn:end] &= ~np.uint8(_F_PINNED)
+
+    def set_migrating(self, pfn: int, active: bool) -> None:
+        """Flag/unflag the allocation headed at *pfn* as under migration."""
+        end = pfn + (1 << int(self.alloc_order[pfn]))
+        if active:
+            self.flags[pfn:end] |= _F_MIGRATING
+        else:
+            self.flags[pfn:end] &= ~np.uint8(_F_MIGRATING)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def is_allocated(self, pfn: int) -> bool:
+        return bool(self.flags[pfn] & _F_ALLOCATED)
+
+    def is_head(self, pfn: int) -> bool:
+        return bool(self.flags[pfn] & _F_HEAD)
+
+    def is_pinned(self, pfn: int) -> bool:
+        return bool(self.flags[pfn] & _F_PINNED)
+
+    def allocation_info(self, pfn: int) -> AllocationInfo:
+        """Describe the allocation owning frame *pfn* (head or member)."""
+        assert self.is_allocated(pfn), f"pfn {pfn} is free"
+        head = int(self.head_of[pfn])
+        return AllocationInfo(
+            pfn=head,
+            order=int(self.alloc_order[head]),
+            migratetype=MigrateType(int(self.migratetype[head])),
+            source=AllocSource(int(self.source[head])),
+            pinned=self.is_pinned(head),
+            birth=int(self.birth[head]),
+        )
+
+    def allocated_mask(self) -> np.ndarray:
+        """Boolean array: True where the frame belongs to a live allocation."""
+        return (self.flags & _F_ALLOCATED) != 0
+
+    def pinned_mask(self) -> np.ndarray:
+        """Boolean array: True where the frame is pinned."""
+        return (self.flags & _F_PINNED) != 0
+
+    def unmovable_mask(self) -> np.ndarray:
+        """Boolean array: True where the frame cannot be moved by software.
+
+        A frame is unmovable when it is allocated and either pinned or owned
+        by a kernel (non-USER) source.
+        """
+        allocated = self.allocated_mask()
+        kernel = self.source != int(AllocSource.USER)
+        return allocated & (kernel | self.pinned_mask())
+
+    def free_frames(self) -> int:
+        """Number of frames not belonging to any allocation."""
+        return int(self.nframes - np.count_nonzero(self.allocated_mask()))
+
+    def pageblock_of(self, pfn: int) -> int:
+        """Pageblock index containing *pfn*."""
+        return pfn // PAGEBLOCK_FRAMES

@@ -1,0 +1,92 @@
+"""Watermark-based memory reclaim.
+
+A trimmed-down model of kswapd/direct reclaim: reclaimable pages (page
+cache, reclaimable slab) sit on an LRU; when free memory falls below a
+watermark the kernel frees from the LRU tail.  Reclaim matters here for two
+reasons: it is the periodic activity that Contiguitas piggybacks on to
+trigger region resizing (paper §3.2), and reclaim *stalls* are the signal
+PSI turns into the per-region pressure numbers Algorithm 1 consumes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from . import vmstat as ev
+from .handle import PageHandle
+
+
+@dataclass(frozen=True)
+class Watermarks:
+    """Free-memory thresholds for one allocator, in frames.
+
+    ``min``: direct-reclaim trigger (allocations stall below this).
+    ``low``: kswapd wake-up / Contiguitas resize check.
+    ``high``: reclaim stops when free memory recovers to this.
+    """
+
+    min: int
+    low: int
+    high: int
+
+    @classmethod
+    def for_frames(cls, nr_frames: int,
+                   min_ratio: float = 0.005,
+                   low_ratio: float = 0.0125,
+                   high_ratio: float = 0.02) -> "Watermarks":
+        """Derive watermarks from a managed-range size, Linux-style."""
+        return cls(
+            min=max(1, int(nr_frames * min_ratio)),
+            low=max(2, int(nr_frames * low_ratio)),
+            high=max(3, int(nr_frames * high_ratio)),
+        )
+
+
+class ReclaimLRU:
+    """LRU of reclaimable page handles (page cache and friends).
+
+    Insertion order approximates recency; ``reclaim`` frees from the oldest
+    end.  Handles freed by their owners are lazily skipped.
+    """
+
+    def __init__(self, stat) -> None:
+        self._lru: OrderedDict[int, PageHandle] = OrderedDict()
+        self._stat = stat
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def register(self, handle: PageHandle) -> None:
+        """Add a reclaimable allocation (most-recently-used position)."""
+        self._lru[id(handle)] = handle
+
+    def touch(self, handle: PageHandle) -> None:
+        """Mark as recently used."""
+        key = id(handle)
+        if key in self._lru:
+            self._lru.move_to_end(key)
+
+    def forget(self, handle: PageHandle) -> None:
+        """Remove without freeing (owner freed it explicitly)."""
+        self._lru.pop(id(handle), None)
+
+    def reclaim(
+        self,
+        free_fn: Callable[[PageHandle], None],
+        target_frames: int,
+    ) -> int:
+        """Free oldest entries until *target_frames* frames are recovered
+        (or the LRU empties).  Returns frames actually freed."""
+        freed = 0
+        while freed < target_frames and self._lru:
+            _, handle = self._lru.popitem(last=False)
+            if handle.freed:
+                continue
+            freed += handle.nframes
+            free_fn(handle)
+        if freed:
+            self._stat.inc(ev.RECLAIM_RUNS)
+            self._stat.inc(ev.PAGES_RECLAIMED, freed)
+        return freed

@@ -1,0 +1,99 @@
+"""Transparent Huge Pages: background promotion (khugepaged).
+
+The fault path (``kernel.alloc_thp``) opportunistically allocates 2 MiB
+pages; this module adds the other half of THP (paper §2.1): a khugepaged-
+style daemon that scans memory regions backed by base pages and *collapses*
+them into huge pages when contiguity can be found — allocating a fresh
+2 MiB block, migrating the 512 base pages into it, and freeing the
+scattered originals.
+
+Collapse is what converts a service that started on a fragmented machine
+into a huge-page-backed one once Contiguitas (or compaction) has produced
+contiguity — and what can never make progress while every block is
+poisoned by unmovable pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import OutOfMemoryError
+from ..units import PAGEBLOCK_FRAMES
+from . import vmstat as ev
+from .handle import PageHandle
+from .page import MigrateType
+
+
+@dataclass
+class CollapseResult:
+    """Outcome of one khugepaged scan pass."""
+
+    scanned: int = 0
+    collapsed: int = 0
+    failed_alloc: int = 0
+    failed_unmovable: int = 0
+
+
+class Khugepaged:
+    """Background promoter of base-page regions to 2 MiB pages.
+
+    Args:
+        kernel: the kernel facade.
+        max_collapses_per_pass: promotion budget per scan (khugepaged's
+            ``pages_to_scan`` pacing).
+    """
+
+    def __init__(self, kernel, max_collapses_per_pass: int = 8) -> None:
+        self.kernel = kernel
+        self.max_collapses_per_pass = max_collapses_per_pass
+
+    def collapse(self, pages: list[PageHandle]) -> PageHandle | None:
+        """Collapse 512 base pages into one THP.
+
+        Allocates the huge destination, "copies" the contents (the data
+        move is implicit in the simulator), frees the scattered base
+        pages, and returns the new handle — or None when no 2 MiB block
+        can be allocated.
+        """
+        if len(pages) != PAGEBLOCK_FRAMES:
+            raise ValueError(
+                f"collapse needs exactly {PAGEBLOCK_FRAMES} base pages")
+        if any(p.freed or p.order != 0 for p in pages):
+            raise ValueError("collapse requires live order-0 pages")
+        if any(p.pinned for p in pages):
+            return None  # pinned pages cannot be collapsed
+        try:
+            huge = self.kernel.alloc_pages(
+                order=9, migratetype=MigrateType.MOVABLE)
+        except OutOfMemoryError:
+            return None
+        for page in pages:
+            self.kernel.free_pages(page)
+        self.kernel.stat.inc(ev.THP_PROMOTED)
+        return huge
+
+    def scan(self, regions: list[list[PageHandle]]) -> CollapseResult:
+        """One daemon pass over base-page regions.
+
+        Each *region* is a candidate list of 512 base pages (a virtual
+        2 MiB extent).  Successfully collapsed regions are replaced
+        in-place by a single-element list holding the huge handle, so
+        callers' bookkeeping stays consistent.
+        """
+        result = CollapseResult()
+        for i, region in enumerate(regions):
+            if result.collapsed >= self.max_collapses_per_pass:
+                break
+            if len(region) != PAGEBLOCK_FRAMES:
+                continue  # already huge or not a full extent
+            result.scanned += 1
+            if any(p.pinned for p in region):
+                result.failed_unmovable += 1
+                continue
+            huge = self.collapse(region)
+            if huge is None:
+                result.failed_alloc += 1
+                continue
+            regions[i] = [huge]
+            result.collapsed += 1
+        return result

@@ -1,0 +1,76 @@
+"""Kernel event counters, in the spirit of ``/proc/vmstat``.
+
+Every interesting memory-management event increments a named counter here.
+Benchmarks and tests read these to verify behaviour (e.g. that Contiguitas
+performs zero pageblock steals while Linux performs many).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterator
+
+
+class VmStat:
+    """A named-event counter with dict-like read access."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+
+    def inc(self, event: str, n: int = 1) -> None:
+        """Add *n* occurrences of *event*."""
+        self._counts[event] += n
+
+    def __getitem__(self, event: str) -> int:
+        return self._counts.get(event, 0)
+
+    def __contains__(self, event: str) -> bool:
+        return event in self._counts
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def items(self) -> list[tuple[str, int]]:
+        """All (event, count) pairs, sorted by event name."""
+        return sorted(self._counts.items())
+
+    def snapshot(self) -> dict[str, int]:
+        """A copy of the current counts."""
+        return dict(self._counts)
+
+    def delta(self, since: dict[str, int]) -> dict[str, int]:
+        """Counts accumulated since a previous :meth:`snapshot`."""
+        return {
+            k: v - since.get(k, 0)
+            for k, v in self._counts.items()
+            if v != since.get(k, 0)
+        }
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+
+# Event name constants (kept together so tests don't embed string typos).
+ALLOC_SUCCESS = "alloc_success"
+ALLOC_FAIL = "alloc_fail"
+ALLOC_FALLBACK = "alloc_fallback"
+PAGEBLOCK_STEAL = "pageblock_steal"
+PAGES_FREED = "pages_freed"
+COMPACT_RUNS = "compact_runs"
+COMPACT_MIGRATED = "compact_pages_migrated"
+COMPACT_FAIL = "compact_pages_failed"
+MIGRATE_SUCCESS = "migrate_success"
+MIGRATE_FAIL = "migrate_fail"
+TLB_SHOOTDOWNS = "tlb_shootdowns"
+RECLAIM_RUNS = "reclaim_runs"
+PAGES_RECLAIMED = "pages_reclaimed"
+THP_ALLOC = "thp_alloc"
+THP_FALLBACK = "thp_fallback"
+THP_PROMOTED = "thp_collapse"
+HUGETLB_1G_ALLOC = "hugetlb_1g_alloc"
+HUGETLB_1G_FAIL = "hugetlb_1g_fail"
+REGION_EXPAND = "region_expand"
+REGION_SHRINK = "region_shrink"
+REGION_EXPAND_BLOCKED = "region_expand_blocked"
+PIN_MIGRATIONS = "pin_migrations"
+HW_MIGRATIONS = "hw_migrations"

@@ -1,0 +1,193 @@
+"""Page-walk-cycle model (paper Fig. 3).
+
+Runs a service's data and instruction access streams through the TLB
+hierarchy with a configurable page-size backing and reports the share of
+execution cycles lost to page walks — the quantity the paper reads from
+performance counters on production hosts.
+
+The backing is a :class:`PageSizeMix`: fractions of the footprint mapped
+with 1 GiB and 2 MiB pages (lowest addresses first, where the hot set
+lives — matching how HugeTLB reservations and khugepaged promotion land
+in practice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..sim.params import ArchParams, DEFAULT_PARAMS
+from ..sim.tlb import SHIFT_1G, SHIFT_2M, SHIFT_4K, TLBHierarchy
+from ..sim.trace import TraceSpec, generate_addresses
+from ..workloads.base import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class PageSizeMix:
+    """How a footprint is backed: fractions by page size (rest is 4 KiB)."""
+
+    frac_1g: float = 0.0
+    frac_2m: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.frac_1g <= 1 and 0 <= self.frac_2m <= 1
+                and self.frac_1g + self.frac_2m <= 1 + 1e-9):
+            raise ConfigurationError(f"bad page-size mix {self}")
+
+    def shift_for(self, addr: int, footprint: int) -> int:
+        """Mapping size of *addr* within a footprint backed low-to-high by
+        1 GiB, then 2 MiB, then 4 KiB pages."""
+        frac = addr / footprint
+        if frac < self.frac_1g:
+            return SHIFT_1G
+        if frac < self.frac_1g + self.frac_2m:
+            return SHIFT_2M
+        return SHIFT_4K
+
+
+#: The paper's three configurations for Fig. 3.
+MIX_4K = PageSizeMix()
+MIX_2M = PageSizeMix(frac_2m=1.0)
+MIX_1G = PageSizeMix(frac_1g=1.0)
+
+
+@dataclass
+class WalkCycleResult:
+    """Walk-cycle percentages for one (service, page-size mix) point."""
+
+    data_pct: float
+    instr_pct: float
+
+    @property
+    def total_pct(self) -> float:
+        return self.data_pct + self.instr_pct
+
+
+def _pt_access_cycles(params: ArchParams, footprint: int) -> int:
+    """Page-table access cost during a walk: tables of large footprints
+    spill past the LLC into DRAM."""
+    llc = params.l3_slice_size * params.l3_slices
+    return params.dram_latency if footprint > 8 * llc else params.l3_latency
+
+
+def _run_stream(spec: TraceSpec, mix: PageSizeMix, n: int,
+                params: ArchParams, seed: int,
+                warmup_fraction: float = 0.5) -> tuple[int, int]:
+    """Simulate one access stream; returns (walk_cycles, accesses).
+
+    The first ``warmup_fraction`` of the trace warms the TLBs and PWCs
+    (production counters measure steady state, not cold start); statistics
+    count only the remainder.
+    """
+    tlb = TLBHierarchy(params,
+                       pt_access_cycles=_pt_access_cycles(
+                           params, spec.footprint_bytes))
+    warm = int(n * warmup_fraction)
+    addrs = generate_addresses(spec, n + warm, seed=seed)
+    footprint = spec.footprint_bytes
+    for addr in addrs[:warm].tolist():
+        tlb.translate(addr, mix.shift_for(addr, footprint))
+    tlb.reset_stats()
+    for addr in addrs[warm:].tolist():
+        tlb.translate(addr, mix.shift_for(addr, footprint))
+    return tlb.stats.walk_cycles, n
+
+
+def walk_cycles(
+    spec: WorkloadSpec,
+    data_mix: PageSizeMix,
+    instr_mix: PageSizeMix | None = None,
+    n_instructions: int = 200_000,
+    params: ArchParams = DEFAULT_PARAMS,
+    seed: int = 0,
+) -> WalkCycleResult:
+    """Fig. 3's quantity for one service and page-size configuration.
+
+    Simulates ``n_instructions`` worth of data and fetch translations and
+    reports walk cycles as percentages of total execution cycles
+    (``base_cpi`` per instruction plus all walk stalls).
+    """
+    if instr_mix is None:
+        # Instructions get huge pages whenever data does (the paper maps
+        # text with huge pages for Web); 1 GiB text is unrealistic, cap
+        # instruction mappings at 2 MiB.
+        instr_mix = (MIX_2M if (data_mix.frac_2m or data_mix.frac_1g)
+                     else MIX_4K)
+    n_data = int(n_instructions * spec.data_access_per_instr)
+    n_fetch = int(n_instructions * spec.instr_fetch_per_instr)
+    data_walk, _ = _run_stream(spec.data_trace, data_mix, n_data,
+                               params, seed)
+    instr_walk, _ = _run_stream(spec.instr_trace, instr_mix, n_fetch,
+                                params, seed + 1)
+    exec_cycles = n_instructions * spec.base_cpi
+    total = exec_cycles + data_walk + instr_walk
+    return WalkCycleResult(
+        data_pct=100.0 * data_walk / total,
+        instr_pct=100.0 * instr_walk / total,
+    )
+
+
+def walk_cycles_from_addrspace(
+    aspace,
+    spec: WorkloadSpec,
+    n_instructions: int = 100_000,
+    params: ArchParams = DEFAULT_PARAMS,
+    seed: int = 0,
+) -> WalkCycleResult:
+    """Fig. 3's quantity measured against *real* kernel state.
+
+    Instead of an assumed page-size mix, every data access is translated
+    through a live :class:`~repro.vm.addrspace.AddressSpace`: the mapping
+    granularity (4 KiB base page vs collapsed THP) is whatever the kernel
+    actually provided, so fragmentation shows up as walk cycles end to
+    end.  Instruction fetches still use the service's instruction trace
+    (text mappings are not modelled per-process).
+    """
+    total_len = sum(vma.length for vma in aspace.vmas)
+    if total_len == 0:
+        raise ConfigurationError("address space has no mappings")
+    data_spec = TraceSpec(
+        footprint_bytes=total_len,
+        hot_fraction=spec.data_trace.hot_fraction,
+        hot_weight=spec.data_trace.hot_weight,
+        stride_locality=spec.data_trace.stride_locality,
+    )
+    n_data = int(n_instructions * spec.data_access_per_instr)
+    offsets = generate_addresses(data_spec, n_data, seed=seed)
+
+    tlb = TLBHierarchy(params, pt_access_cycles=_pt_access_cycles(
+        params, total_len))
+    # Map flat trace offsets onto the VMAs in order.
+    spans = []
+    base = 0
+    for vma in aspace.vmas:
+        spans.append((base, base + vma.length, vma))
+        base += vma.length
+    for off in offsets.tolist():
+        for lo, hi, vma in spans:
+            if lo <= off < hi:
+                vaddr = vma.start + (off - lo)
+                break
+        else:  # pragma: no cover - offsets are bounded by total_len
+            continue
+        _, shift = aspace.translate(vaddr)
+        tlb.translate(vaddr, shift)
+    data_walk = tlb.stats.walk_cycles
+
+    instr_walk, _ = _run_stream(
+        spec.instr_trace, MIX_2M if aspace.huge_coverage() > 0.5 else MIX_4K,
+        int(n_instructions * spec.instr_fetch_per_instr), params, seed + 1)
+    exec_cycles = n_instructions * spec.base_cpi
+    total = exec_cycles + data_walk + instr_walk
+    return WalkCycleResult(
+        data_pct=100.0 * data_walk / total,
+        instr_pct=100.0 * instr_walk / total,
+    )
+
+
+def mix_for_coverage(coverage: dict[str, float]) -> PageSizeMix:
+    """Translate a measured huge-page coverage (from
+    :meth:`~repro.workloads.base.Workload.huge_coverage`) into a
+    page-size mix for the walk model."""
+    return PageSizeMix(frac_1g=coverage.get("1g", 0.0),
+                       frac_2m=coverage.get("2m", 0.0))

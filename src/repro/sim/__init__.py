@@ -1,0 +1,72 @@
+"""Hardware simulation substrate: event engine, caches, TLBs, shootdowns.
+
+Cycle-accounting models of the paper's Table-1 platform.  These power the
+Contiguitas-HW characterisation (Fig. 13, §5.3): the baseline IPI shootdown
+protocol, the TLB hierarchy with page-walk caches, and the sliced LLC the
+migration engine lives in.
+"""
+
+from .cache import SetAssocCache, SlicedLLC, slice_of
+from .coherence import CoherenceStats, Directory, MesiState
+from .core import CoreStats, TimingCore
+from .engine import EventQueue
+from .hwtiming import (
+    AccessSample,
+    TrafficResult,
+    lazy_invalidation_window,
+    simulate_migration_traffic,
+    table_occupancy_bound,
+)
+from .iommu import DeviceTlb, InvalidationRequest, Iommu
+from .params import DEFAULT_PARAMS, ArchParams
+from .shootdown import (
+    MigrationTimeline,
+    page_copy_cycles,
+    simulate_contiguitas_migration,
+    simulate_linux_migration,
+)
+from .tlb import (
+    SHIFT_1G,
+    SHIFT_2M,
+    SHIFT_4K,
+    PageWalkCache,
+    SetAssocTLB,
+    TLBHierarchy,
+    WalkStats,
+)
+from .trace import TraceSpec, generate_addresses
+
+__all__ = [
+    "AccessSample",
+    "ArchParams",
+    "CoherenceStats",
+    "CoreStats",
+    "DEFAULT_PARAMS",
+    "DeviceTlb",
+    "Directory",
+    "EventQueue",
+    "InvalidationRequest",
+    "Iommu",
+    "MesiState",
+    "MigrationTimeline",
+    "PageWalkCache",
+    "SHIFT_1G",
+    "SHIFT_2M",
+    "SHIFT_4K",
+    "SetAssocCache",
+    "SetAssocTLB",
+    "SlicedLLC",
+    "TLBHierarchy",
+    "TimingCore",
+    "TraceSpec",
+    "TrafficResult",
+    "WalkStats",
+    "generate_addresses",
+    "lazy_invalidation_window",
+    "page_copy_cycles",
+    "simulate_contiguitas_migration",
+    "simulate_linux_migration",
+    "simulate_migration_traffic",
+    "slice_of",
+    "table_occupancy_bound",
+]

@@ -1,0 +1,192 @@
+"""MESI directory coherence for private caches over the sliced LLC.
+
+Contiguitas-HW's correctness argument leans on ordinary coherence
+machinery: the copy engine issues **BusRdX** for the source and
+destination lines (pulling the newest data to the LLC and invalidating
+private copies), and the cacheable design's invariant — at most one of
+the two mappings holds a line in private caches — is enforced with the
+same invalidation messages.  This module provides that machinery as an
+explicit directory protocol so the engine's BusRdX is a real operation
+with observable effects, not a latency constant.
+
+States are per (line, core): Modified / Exclusive / Shared / Invalid,
+tracked by a directory at the line's home LLC slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import ConfigurationError, HardwareProtocolError
+from .params import ArchParams, DEFAULT_PARAMS
+
+
+class MesiState(Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class DirectoryEntry:
+    """Sharers/owner bookkeeping for one cache line."""
+
+    sharers: set[int] = field(default_factory=set)
+    owner: int | None = None  # core holding M/E, if any
+    dirty: bool = False
+
+    @property
+    def state(self) -> MesiState:
+        if self.owner is not None:
+            return MesiState.MODIFIED if self.dirty else MesiState.EXCLUSIVE
+        if self.sharers:
+            return MesiState.SHARED
+        return MesiState.INVALID
+
+
+@dataclass
+class CoherenceStats:
+    reads: int = 0
+    writes: int = 0
+    invalidations_sent: int = 0
+    writebacks: int = 0
+    bus_rdx: int = 0
+
+
+class Directory:
+    """A directory-based MESI protocol over *ncores* private caches.
+
+    The directory abstracts the per-slice distribution (each line's entry
+    conceptually lives at its home slice); latencies come from
+    :class:`ArchParams` and are returned per operation so callers can
+    accumulate cycle costs.
+    """
+
+    def __init__(self, ncores: int = 8,
+                 params: ArchParams = DEFAULT_PARAMS) -> None:
+        if ncores < 1:
+            raise ConfigurationError("need at least one core")
+        self.ncores = ncores
+        self.params = params
+        self._entries: dict[int, DirectoryEntry] = {}
+        self.stats = CoherenceStats()
+
+    def _entry(self, line: int) -> DirectoryEntry:
+        entry = self._entries.get(line)
+        if entry is None:
+            entry = self._entries[line] = DirectoryEntry()
+        return entry
+
+    def state(self, line: int, core: int) -> MesiState:
+        entry = self._entries.get(line)
+        if entry is None:
+            return MesiState.INVALID
+        if entry.owner == core:
+            return (MesiState.MODIFIED if entry.dirty
+                    else MesiState.EXCLUSIVE)
+        if core in entry.sharers:
+            return MesiState.SHARED
+        return MesiState.INVALID
+
+    # ------------------------------------------------------------------
+    # Core-side operations
+    # ------------------------------------------------------------------
+
+    def read(self, line: int, core: int) -> int:
+        """Core *core* reads *line*; returns cycles on the coherence path."""
+        self._check_core(core)
+        self.stats.reads += 1
+        entry = self._entry(line)
+        cycles = 0
+        if entry.owner == core or core in entry.sharers:
+            return self.params.l1_latency
+        if entry.owner is not None:
+            # Downgrade the owner M/E -> S (writeback if dirty).
+            if entry.dirty:
+                self.stats.writebacks += 1
+                cycles += self.params.l3_latency
+            entry.sharers.add(entry.owner)
+            entry.owner = None
+            entry.dirty = False
+            cycles += self.params.l2_latency
+        entry.sharers.add(core)
+        return cycles + self.params.l3_latency
+
+    def write(self, line: int, core: int) -> int:
+        """Core *core* writes *line* (obtains M); returns cycles."""
+        self._check_core(core)
+        self.stats.writes += 1
+        entry = self._entry(line)
+        cycles = 0
+        if entry.owner == core:
+            entry.dirty = True
+            return self.params.l1_latency
+        # Invalidate every other copy.
+        cycles += self._invalidate_others(entry, keep=core)
+        entry.sharers.discard(core)
+        entry.owner = core
+        entry.dirty = True
+        return cycles + self.params.l3_latency
+
+    def evict(self, line: int, core: int) -> int:
+        """Core silently evicts its copy (writeback if M)."""
+        entry = self._entries.get(line)
+        if entry is None:
+            return 0
+        cycles = 0
+        if entry.owner == core:
+            if entry.dirty:
+                self.stats.writebacks += 1
+                cycles += self.params.l3_latency
+            entry.owner = None
+            entry.dirty = False
+        entry.sharers.discard(core)
+        return cycles
+
+    # ------------------------------------------------------------------
+    # LLC-side operations (what Contiguitas-HW issues)
+    # ------------------------------------------------------------------
+
+    def bus_rdx(self, line: int) -> int:
+        """Exclusive read by the LLC itself (Fig. 8c step 2): pull the
+        newest data to the LLC and invalidate every private copy.
+        Returns cycles; afterwards no core holds the line."""
+        self.stats.bus_rdx += 1
+        entry = self._entry(line)
+        cycles = self._invalidate_others(entry, keep=None)
+        return cycles + self.params.l3_latency
+
+    def holders(self, line: int) -> set[int]:
+        """Cores currently caching the line (any state)."""
+        entry = self._entries.get(line)
+        if entry is None:
+            return set()
+        out = set(entry.sharers)
+        if entry.owner is not None:
+            out.add(entry.owner)
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _invalidate_others(self, entry: DirectoryEntry,
+                           keep: int | None) -> int:
+        cycles = 0
+        if entry.owner is not None and entry.owner != keep:
+            if entry.dirty:
+                self.stats.writebacks += 1
+                cycles += self.params.l3_latency
+            self.stats.invalidations_sent += 1
+            cycles += self.params.l2_latency
+            entry.owner = None
+            entry.dirty = False
+        victims = {c for c in entry.sharers if c != keep}
+        self.stats.invalidations_sent += len(victims)
+        cycles += self.params.l2_latency if victims else 0
+        entry.sharers -= victims
+        return cycles
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.ncores:
+            raise HardwareProtocolError(f"core {core} out of range")

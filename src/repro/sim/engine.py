@@ -1,0 +1,59 @@
+"""Discrete-event simulation core.
+
+A classic event-queue engine with a cycle-granularity clock.  The hardware
+models (IPI shootdowns, Contiguitas-HW slice copies) schedule callbacks at
+future cycles; the engine runs them in time order.  Deliberately minimal:
+no processes/coroutines, just ``at(cycle, fn)`` and ``run()``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+from ..errors import ConfigurationError
+
+
+class EventQueue:
+    """Cycle-ordered event queue with a monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._seq = 0
+        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+
+    def at(self, cycle: int, fn: Callable[[], None]) -> None:
+        """Schedule *fn* to run at absolute *cycle* (>= now)."""
+        if cycle < self.now:
+            raise ConfigurationError(
+                f"cannot schedule at {cycle}, now is {self.now}")
+        self._seq += 1
+        heapq.heappush(self._heap, (cycle, self._seq, fn))
+
+    def after(self, delay: int, fn: Callable[[], None]) -> None:
+        """Schedule *fn* to run *delay* cycles from now."""
+        self.at(self.now + delay, fn)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        cycle, _, fn = heapq.heappop(self._heap)
+        self.now = cycle
+        fn()
+        return True
+
+    def run(self, until: int | None = None) -> int:
+        """Run events until the queue drains (or the clock passes *until*).
+
+        Returns the final clock value.
+        """
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                break
+            self.step()
+        return self.now

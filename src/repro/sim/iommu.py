@@ -1,0 +1,133 @@
+"""IOMMU, IOTLB, and device TLBs (paper §2.1, §3.3 platform).
+
+Devices translate DMA addresses through the IOMMU, which performs page
+walks and caches translations in its IOTLB; devices like NICs additionally
+cache translations in their own device TLBs (PCIe ATS).  Invalidation is
+queue-based: the core posts invalidation descriptors to an in-memory
+queue, the IOMMU processes them, invalidates its IOTLB, forwards device-
+TLB invalidations, and signals completion with a wait descriptor.
+
+This matters for the paper because a page used for DMA *cannot be blocked*
+while these invalidations run — a device access mid-migration would read
+or corrupt a page being copied.  Contiguitas-HW removes the problem: both
+mappings stay valid during the copy, so device TLBs can be invalidated
+lazily by any core, with no synchronous drain.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .params import ArchParams, DEFAULT_PARAMS
+from .tlb import SHIFT_4K, SetAssocTLB
+
+
+@dataclass
+class InvalidationRequest:
+    """One descriptor in the IOMMU's invalidation queue."""
+
+    iova_vpn: int
+    shift: int = SHIFT_4K
+    #: Whether the request must also be forwarded to device TLBs.
+    device_tlb: bool = True
+    completed: bool = False
+
+
+class DeviceTlb:
+    """A device-side TLB (e.g. on a NIC), filled via ATS from the IOMMU."""
+
+    def __init__(self, entries: int = 64, ways: int | None = None,
+                 label: str = "nic-tlb") -> None:
+        self.tlb = SetAssocTLB(entries, ways or entries, label=label)
+        self.invalidations = 0
+
+    def lookup(self, iova_vpn: int, shift: int = SHIFT_4K) -> bool:
+        return self.tlb.lookup(iova_vpn, shift)
+
+    def fill(self, iova_vpn: int, shift: int = SHIFT_4K) -> None:
+        self.tlb.fill(iova_vpn, shift)
+
+    def invalidate(self, iova_vpn: int, shift: int = SHIFT_4K) -> bool:
+        self.invalidations += 1
+        return self.tlb.invalidate(iova_vpn, shift)
+
+
+class Iommu:
+    """The IOMMU: IOTLB + queued invalidation, with latency accounting.
+
+    Args:
+        params: architectural latencies.
+        iotlb_entries: IOTLB capacity (fully associative model).
+        queue_depth: invalidation queue capacity.
+    """
+
+    #: Cycles for the IOMMU to fetch and process one queue descriptor.
+    DESCRIPTOR_CYCLES = 150
+    #: Cycles for an invalidation round trip to a device TLB (PCIe).
+    DEVICE_INVALIDATE_CYCLES = 700
+
+    def __init__(self, params: ArchParams | None = None,
+                 iotlb_entries: int = 128, queue_depth: int = 256) -> None:
+        self.params = params or DEFAULT_PARAMS
+        self.iotlb = SetAssocTLB(iotlb_entries, iotlb_entries,
+                                 label="iotlb")
+        self.devices: list[DeviceTlb] = []
+        self.queue: deque[InvalidationRequest] = deque()
+        self.queue_depth = queue_depth
+        self.walks = 0
+        self.invalidations_processed = 0
+
+    def attach_device(self, device: DeviceTlb) -> None:
+        self.devices.append(device)
+
+    # ------------------------------------------------------------------
+    # Translation path (DMA)
+    # ------------------------------------------------------------------
+
+    def translate(self, iova_vpn: int, shift: int = SHIFT_4K) -> int:
+        """Translate a device access; returns cycles spent."""
+        if self.iotlb.lookup(iova_vpn, shift):
+            return self.params.l1_tlb_latency
+        # IOMMU page walk: same radix tree, typically uncached tables.
+        self.walks += 1
+        self.iotlb.fill(iova_vpn, shift)
+        return self.params.l1_tlb_latency + 2 * self.params.dram_latency
+
+    # ------------------------------------------------------------------
+    # Invalidation path
+    # ------------------------------------------------------------------
+
+    def post(self, request: InvalidationRequest) -> None:
+        """Core side: enqueue an invalidation descriptor."""
+        if len(self.queue) >= self.queue_depth:
+            raise ConfigurationError("invalidation queue full")
+        self.queue.append(request)
+
+    def process(self) -> int:
+        """Drain the queue; returns total processing cycles.
+
+        Per descriptor: fetch + IOTLB invalidate, plus a synchronous
+        round trip to every attached device TLB when requested.
+        """
+        cycles = 0
+        while self.queue:
+            req = self.queue.popleft()
+            cycles += self.DESCRIPTOR_CYCLES
+            self.iotlb.invalidate(req.iova_vpn, req.shift)
+            if req.device_tlb:
+                for device in self.devices:
+                    device.invalidate(req.iova_vpn, req.shift)
+                    cycles += self.DEVICE_INVALIDATE_CYCLES
+            req.completed = True
+            self.invalidations_processed += 1
+        return cycles
+
+    def synchronous_invalidate_cycles(self, nr_pages: int = 1) -> int:
+        """Cost of the baseline flow: post, drain, and *wait* for
+        completion before a migration may proceed — the device-side
+        analogue of the IPI shootdown (Fig. 1)."""
+        per_page = self.DESCRIPTOR_CYCLES + len(self.devices) * \
+            self.DEVICE_INVALIDATE_CYCLES
+        return nr_pages * per_page

@@ -1,0 +1,5 @@
+"""Virtual memory layer: address spaces, VMAs, demand faulting."""
+
+from .addrspace import EXTENT_BYTES, AddressSpace, Mapping, VMA
+
+__all__ = ["AddressSpace", "EXTENT_BYTES", "Mapping", "VMA"]

@@ -1,0 +1,230 @@
+"""Process address spaces: VMAs, demand faulting, translation.
+
+The evaluation-side glue the paper's production kernel gets for free: a
+process maps virtual ranges (``mmap``), faults them in lazily — each
+2 MiB-aligned extent tries a THP first and falls back to base pages — and
+translates virtual addresses to the physical frames the kernel actually
+assigned.  ``translate`` is what lets the TLB simulator run against *real*
+kernel state instead of an assumed page-size mix, and khugepaged scans
+VMAs for base-page extents to collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, ReproError
+from ..kalloc.pagetable import PageTableAllocator
+from ..mm.handle import PageHandle
+from ..mm.thp import Khugepaged
+from ..units import FRAME_SIZE, PAGEBLOCK_FRAMES
+
+#: Bytes per 2 MiB extent.
+EXTENT_BYTES = PAGEBLOCK_FRAMES * FRAME_SIZE
+
+
+@dataclass
+class Mapping:
+    """Physical backing of one 2 MiB-aligned extent of a VMA.
+
+    Either one huge handle (``huge``) or a sparse dict of base-page
+    handles keyed by page index within the extent.
+    """
+
+    huge: PageHandle | None = None
+    base: dict[int, PageHandle] = field(default_factory=dict)
+
+    @property
+    def resident_frames(self) -> int:
+        if self.huge is not None:
+            return PAGEBLOCK_FRAMES
+        return len(self.base)
+
+
+class VMA:
+    """One virtual memory area: ``[start, end)`` virtual bytes."""
+
+    def __init__(self, start: int, length: int,
+                 thp_eligible: bool = True) -> None:
+        if start % FRAME_SIZE or length % FRAME_SIZE or length <= 0:
+            raise ConfigurationError("VMA must be page aligned, non-empty")
+        self.start = start
+        self.end = start + length
+        self.thp_eligible = thp_eligible
+        #: extent index (within the VMA) -> Mapping
+        self.extents: dict[int, Mapping] = {}
+
+    def __contains__(self, vaddr: int) -> bool:
+        return self.start <= vaddr < self.end
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def extent_of(self, vaddr: int) -> tuple[int, int]:
+        """(extent index, byte offset within extent) for *vaddr*."""
+        off = vaddr - self.start
+        return off // EXTENT_BYTES, off % EXTENT_BYTES
+
+    def resident_frames(self) -> int:
+        return sum(m.resident_frames for m in self.extents.values())
+
+    def huge_coverage(self) -> float:
+        """Fraction of resident memory backed by 2 MiB pages."""
+        resident = self.resident_frames()
+        if not resident:
+            return 0.0
+        huge = sum(PAGEBLOCK_FRAMES for m in self.extents.values()
+                   if m.huge is not None)
+        return huge / resident
+
+
+class AddressSpace:
+    """A process's virtual address space on a simulated kernel.
+
+    Args:
+        kernel: any kernel facade.
+        mmap_base: where anonymous mappings start (grows upward).
+    """
+
+    def __init__(self, kernel, mmap_base: int = 0x7000_0000_0000) -> None:
+        self.kernel = kernel
+        self.vmas: list[VMA] = []
+        self._mmap_next = mmap_base
+        self.pagetables = PageTableAllocator(kernel)
+        self.minor_faults = 0
+        self.thp_faults = 0
+
+    # ------------------------------------------------------------------
+    # Mapping lifecycle
+    # ------------------------------------------------------------------
+
+    def mmap(self, length: int, thp_eligible: bool = True,
+             align: int = EXTENT_BYTES) -> VMA:
+        """Create an anonymous mapping; memory faults in on first touch."""
+        start = -(-self._mmap_next // align) * align
+        vma = VMA(start, length, thp_eligible)
+        self._mmap_next = vma.end
+        self.vmas.append(vma)
+        return vma
+
+    def munmap(self, vma: VMA) -> int:
+        """Unmap a VMA, freeing its backing; returns frames released."""
+        if vma not in self.vmas:
+            raise ReproError("VMA does not belong to this address space")
+        released = 0
+        for mapping in vma.extents.values():
+            if mapping.huge is not None:
+                self.kernel.free_pages(mapping.huge)
+                released += PAGEBLOCK_FRAMES
+                self.pagetables.on_unmap(PAGEBLOCK_FRAMES, leaf_level=1)
+            else:
+                for handle in mapping.base.values():
+                    self.kernel.free_pages(handle)
+                released += len(mapping.base)
+                self.pagetables.on_unmap(len(mapping.base), leaf_level=0)
+        self.vmas.remove(vma)
+        return released
+
+    # ------------------------------------------------------------------
+    # Faulting and translation
+    # ------------------------------------------------------------------
+
+    def _vma_for(self, vaddr: int) -> VMA:
+        for vma in self.vmas:
+            if vaddr in vma:
+                return vma
+        raise ReproError(f"segfault: {vaddr:#x} is not mapped")
+
+    def fault(self, vaddr: int) -> PageHandle:
+        """Back the page containing *vaddr* (no-op if already resident).
+
+        A fault in an empty, fully-contained, THP-eligible extent tries a
+        2 MiB page first (the THP fault path); otherwise it takes a base
+        page.  Returns the backing handle.
+        """
+        vma = self._vma_for(vaddr)
+        extent, offset = vma.extent_of(vaddr)
+        mapping = vma.extents.get(extent)
+        if mapping is None:
+            mapping = vma.extents[extent] = Mapping()
+        if mapping.huge is not None:
+            return mapping.huge
+        page_idx = offset // FRAME_SIZE
+        handle = mapping.base.get(page_idx)
+        if handle is not None:
+            return handle
+
+        self.minor_faults += 1
+        extent_start = vma.start + extent * EXTENT_BYTES
+        whole_extent_mapped = extent_start + EXTENT_BYTES <= vma.end
+        if (vma.thp_eligible and whole_extent_mapped and not mapping.base):
+            huge = self.kernel.alloc_thp()
+            if huge is not None:
+                self.thp_faults += 1
+                mapping.huge = huge
+                self.pagetables.on_map(PAGEBLOCK_FRAMES, leaf_level=1)
+                return huge
+        handle = self.kernel.alloc_pages(0)
+        mapping.base[page_idx] = handle
+        self.pagetables.on_map(1, leaf_level=0)
+        return handle
+
+    def translate(self, vaddr: int) -> tuple[int, int]:
+        """Translate *vaddr* to ``(pfn, page_shift)``, faulting as needed.
+
+        The shift reports the mapping granularity (12 for base pages, 21
+        for THP) so TLB simulations can consume real kernel state.
+        """
+        handle = self.fault(vaddr)
+        vma = self._vma_for(vaddr)
+        extent, offset = vma.extent_of(vaddr)
+        if handle.order == 9:
+            return handle.pfn + offset // FRAME_SIZE, 21
+        return handle.pfn, 12
+
+    # ------------------------------------------------------------------
+    # Introspection / khugepaged integration
+    # ------------------------------------------------------------------
+
+    def resident_frames(self) -> int:
+        return sum(v.resident_frames() for v in self.vmas)
+
+    def huge_coverage(self) -> float:
+        resident = self.resident_frames()
+        if not resident:
+            return 0.0
+        huge = sum(PAGEBLOCK_FRAMES for v in self.vmas
+                   for m in v.extents.values() if m.huge is not None)
+        return huge / resident
+
+    def collapse_candidates(self) -> list[tuple[VMA, int]]:
+        """(vma, extent) pairs that are fully resident as base pages —
+        what khugepaged would scan."""
+        out = []
+        for vma in self.vmas:
+            for extent, mapping in vma.extents.items():
+                if (mapping.huge is None
+                        and len(mapping.base) == PAGEBLOCK_FRAMES
+                        and vma.thp_eligible):
+                    out.append((vma, extent))
+        return out
+
+    def khugepaged_pass(self, max_collapses: int = 8) -> int:
+        """One background-promotion pass over this address space;
+        returns extents collapsed."""
+        daemon = Khugepaged(self.kernel, max_collapses)
+        collapsed = 0
+        for vma, extent in self.collapse_candidates():
+            if collapsed >= max_collapses:
+                break
+            mapping = vma.extents[extent]
+            pages = [mapping.base[i] for i in range(PAGEBLOCK_FRAMES)]
+            huge = daemon.collapse(pages)
+            if huge is None:
+                continue
+            vma.extents[extent] = Mapping(huge=huge)
+            self.pagetables.on_unmap(PAGEBLOCK_FRAMES, leaf_level=0)
+            self.pagetables.on_map(PAGEBLOCK_FRAMES, leaf_level=1)
+            collapsed += 1
+        return collapsed

@@ -1,0 +1,62 @@
+"""Workload models: production services, fragmenters, HW-interference apps."""
+
+from .base import Workload, WorkloadSpec
+from .fragmenter import fragment_fully, fragment_partially
+from .requestloop import (
+    LoopResult,
+    RequestLoop,
+    relative_throughput_simulated,
+)
+from .tracelog import TraceEvent, TraceRecorder, load_trace, replay
+from .interference import (
+    MEMCACHED,
+    NGINX,
+    REGULAR_RATE,
+    VERY_HIGH_RATE,
+    ServerApp,
+    interference_overhead,
+    migration_window_cycles,
+    relative_throughput,
+)
+from .services import (
+    ADS,
+    RDMA,
+    BY_NAME,
+    CACHE_A,
+    CACHE_B,
+    CI,
+    PRODUCTION_SERVICES,
+    WALK_CHARACTERISATION,
+    WEB,
+)
+
+__all__ = [
+    "ADS",
+    "BY_NAME",
+    "CACHE_A",
+    "CACHE_B",
+    "CI",
+    "MEMCACHED",
+    "LoopResult",
+    "NGINX",
+    "PRODUCTION_SERVICES",
+    "RDMA",
+    "RequestLoop",
+    "REGULAR_RATE",
+    "VERY_HIGH_RATE",
+    "ServerApp",
+    "WALK_CHARACTERISATION",
+    "WEB",
+    "Workload",
+    "WorkloadSpec",
+    "fragment_fully",
+    "fragment_partially",
+    "interference_overhead",
+    "migration_window_cycles",
+    "relative_throughput",
+    "relative_throughput_simulated",
+    "TraceEvent",
+    "TraceRecorder",
+    "load_trace",
+    "replay",
+]

@@ -1,0 +1,429 @@
+"""Workload driver: allocation behaviour of a datacenter service.
+
+A :class:`Workload` exercises a simulated kernel the way a containerised
+Meta service exercises Linux (paper §4): it maps an anonymous heap (THP
+where possible, 1 GiB HugeTLB if the service supports it), fills page
+cache, brings up networking queues, and then churns — transient network
+buffers, slab objects, filesystem bursts, pinned zero-copy buffers — each
+with its own lifetime distribution.
+
+The churn rates are *fractions of memory per unit time*, so the same spec
+scales from 64 MiB test machines to multi-GiB benchmark machines.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from dataclasses import dataclass, field
+
+from ..errors import ContiguityError, OutOfMemoryError
+from ..kalloc.netbuf import NetworkBufferPool, NetworkQueueConfig
+from ..kalloc.pagetable import PageTableAllocator
+from ..kalloc.slab import SlabAllocator
+from ..mm.handle import PageHandle
+from ..mm.page import AllocSource, MigrateType
+from ..sim.trace import TraceSpec
+from ..units import GIGAPAGE_FRAMES, PAGEBLOCK_FRAMES
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one service's memory behaviour.
+
+    Footprints are fractions of machine memory; rates are events per step
+    per GiB of machine memory (so churn intensity scales with machine
+    size); lifetimes are in steps.
+    """
+
+    name: str
+    anon_fraction: float = 0.5
+    cache_fraction: float = 0.2
+    wants_1g: bool = False
+    #: Number of 1 GiB pages the service tries to reserve when supported.
+    gigapages_wanted: int = 4
+
+    net_rings_frames_per_gib: int = 2048
+    net_rate_per_gib: float = 40.0
+    net_lifetime_steps: float = 30.0
+    #: Buddy orders of transient buffers (jumbo frames / GRO need
+    #: multi-page buffers).  Order diversity is what strands free space
+    #: inside the unmovable region: scattered order-0 holes cannot serve
+    #: order-2 requests (§5.2's internal fragmentation).
+    net_buffer_orders: tuple = (0, 0, 0, 1, 1, 2)
+    #: Fraction of transient buffers that are long-lived (socket buffers
+    #: parked on slow connections) — the stragglers that scatter.
+    net_straggler_fraction: float = 0.25
+    net_straggler_lifetime_steps: float = 1200.0
+
+    slab_rate_per_gib: float = 25.0
+    slab_lifetime_steps: float = 150.0
+    fs_rate_per_gib: float = 8.0
+    fs_lifetime_steps: float = 4.0
+    fs_straggler_fraction: float = 0.2
+    fs_straggler_lifetime_steps: float = 600.0
+    pin_rate_per_gib: float = 0.5
+    pin_lifetime_steps: float = 200.0
+    pagetable_rate_per_gib: float = 4.0
+    pagetable_lifetime_steps: float = 300.0
+    #: Diurnal traffic modulation: kernel-side churn rates swing by this
+    #: amplitude over one period.  Peaks grow the unmovable footprint;
+    #: troughs free pages that stragglers keep trapped — the §5.2
+    #: internal fragmentation of the unmovable region.
+    diurnal_amplitude: float = 0.5
+    diurnal_period_steps: int = 500
+    #: Per-step page-cache refill rate (file-read batches), per GiB.
+    cache_churn_per_gib: float = 100.0
+    #: Buddy order of one readahead batch (4 KiB pages read together).
+    cache_batch_order: int = 2
+    #: When True (default), the page cache grows until memory is full, the
+    #: production norm.  When False, it is capped at ``cache_fraction`` —
+    #: used by the fleet survey to model servers at varied utilisation.
+    cache_opportunistic: bool = True
+
+    # Performance-model inputs (Fig. 3 / Fig. 10).
+    data_trace: TraceSpec = field(default_factory=lambda: TraceSpec(
+        footprint_bytes=48 << 30, hot_fraction=0.05, hot_weight=0.55,
+        stride_locality=0.3))
+    instr_trace: TraceSpec = field(default_factory=lambda: TraceSpec(
+        footprint_bytes=256 << 20, hot_fraction=0.1, hot_weight=0.8,
+        stride_locality=0.5))
+    #: Data accesses per instruction (loads+stores).
+    data_access_per_instr: float = 0.45
+    #: Instruction-side translations per instruction (fetch granularity).
+    instr_fetch_per_instr: float = 0.2
+    #: Baseline cycles per instruction excluding translation stalls.
+    base_cpi: float = 0.8
+
+
+@dataclass
+class _Expiry:
+    """Heap entry for a transient allocation's scheduled death."""
+
+    deadline: int
+    seq: int
+    kind: str
+    payload: object
+
+    def __lt__(self, other: "_Expiry") -> bool:
+        return (self.deadline, self.seq) < (other.deadline, other.seq)
+
+
+class Workload:
+    """Drives one kernel with one service's allocation pattern."""
+
+    def __init__(self, kernel, spec: WorkloadSpec, seed: int = 0) -> None:
+        self.kernel = kernel
+        self.spec = spec
+        self.rng = random.Random(seed)
+        gib = kernel.mem.size_bytes / (1 << 30)
+        self._scale = gib
+        total_ring_frames = max(8, int(spec.net_rings_frames_per_gib * gib))
+        nr_queues = max(1, int(8 * gib))
+        self.netpool = NetworkBufferPool(kernel, NetworkQueueConfig(
+            nr_queues=nr_queues,
+            ring_frames_per_queue=max(1, total_ring_frames // nr_queues),
+        ))
+        self.slab = SlabAllocator(kernel)
+        self.pagetables = PageTableAllocator(kernel)
+        self.anon_chunks: list[PageHandle | list[PageHandle]] = []
+        self.gigapages: list[PageHandle] = []
+        self.cache_pages: list[PageHandle] = []
+        self._cache_frames = 0
+        self._expiries: list[_Expiry] = []
+        self._seq = 0
+        self.steps = 0
+        self.started = False
+        self._traffic = 1.0
+        # Outcome counters.
+        self.thp_hits = 0
+        self.thp_misses = 0
+        self.oom_events = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Deploy the service: networking up, heap mapped, cache warmed."""
+        assert not self.started
+        self.started = True
+        self.netpool.bring_up()
+        self._map_heap()
+        self._fill_cache()
+
+    def stop(self, kernel_residue: float = 0.5,
+             keep_cache: bool = True) -> None:
+        """Tear the service down (container restart).
+
+        The service's own memory — heap, gigapages, pinned buffers — dies
+        with the process.  Kernel-side allocations are another story:
+        socket buffers parked on system connections, slab objects in
+        shared caches, and page tables of co-tenants survive a container
+        restart; ``kernel_residue`` is the fraction of live kernel
+        allocations that leak this way.  The page cache survives too
+        (``keep_cache``): the files are still cached, so the next tenant
+        starts against full memory and allocates through reclaim — it is
+        the combination of both effects that makes restarted servers
+        "partially fragmented" (paper §5.1).
+        """
+        assert self.started
+        self.started = False
+        for chunk in self.anon_chunks:
+            for handle in self._chunk_handles(chunk):
+                self.kernel.free_pages(handle)
+        self.anon_chunks.clear()
+        for handle in self.gigapages:
+            self.kernel.free_pages(handle)
+        self.gigapages.clear()
+        if not keep_cache:
+            for handle in self.cache_pages:
+                if not handle.freed:
+                    self.kernel.free_pages(handle)
+        # Kept cache pages stay on the kernel's reclaim LRU; the next
+        # tenant's allocations will evict them on demand.
+        self.cache_pages.clear()
+        self._cache_frames = 0
+        self._drain_expiries(kernel_residue)
+        self.netpool.tear_down()
+        self.pagetables.on_unmap(10 ** 12)  # everything
+
+    def _map_heap(self) -> None:
+        """Map the anonymous footprint: 1 GiB pages when supported, THP
+        2 MiB chunks otherwise, base pages as last resort."""
+        spec = self.spec
+        total = self.kernel.mem.nframes
+        want = int(total * spec.anon_fraction)
+        if spec.wants_1g:
+            for _ in range(spec.gigapages_wanted):
+                if want < GIGAPAGE_FRAMES:
+                    break
+                try:
+                    self.gigapages.append(self.kernel.alloc_gigapage())
+                    want -= GIGAPAGE_FRAMES
+                except ContiguityError:
+                    break
+        while want >= PAGEBLOCK_FRAMES:
+            chunk = self._alloc_chunk()
+            if chunk is None:
+                self.oom_events += 1
+                break
+            self.anon_chunks.append(chunk)
+            want -= PAGEBLOCK_FRAMES
+
+    def _alloc_chunk(self) -> PageHandle | list[PageHandle] | None:
+        """One 2 MiB heap chunk: THP if available, else 512 base pages."""
+        huge = self.kernel.alloc_thp()
+        if huge is not None:
+            self.thp_hits += 1
+            self.pagetables.on_map(PAGEBLOCK_FRAMES, leaf_level=1)
+            return huge
+        self.thp_misses += 1
+        pages = []
+        try:
+            for _ in range(PAGEBLOCK_FRAMES):
+                pages.append(self.kernel.alloc_pages(0))
+        except OutOfMemoryError:
+            for h in pages:
+                self.kernel.free_pages(h)
+            return None
+        self.pagetables.on_map(PAGEBLOCK_FRAMES, leaf_level=0)
+        return pages
+
+    def _fill_cache(self) -> None:
+        """Warm the page cache to at least ``cache_fraction`` and then
+        opportunistically until memory is full — the production steady
+        state in which every later allocation is served from reclaimed
+        pages (Linux never leaves memory idle)."""
+        from ..mm import vmstat as ev
+
+        want = int(self.kernel.mem.nframes * self.spec.cache_fraction)
+        reclaimed_before = self.kernel.stat[ev.PAGES_RECLAIMED]
+        budget = self.kernel.mem.nframes  # hard stop, belt and braces
+        try:
+            while budget > 0:
+                full = (self.kernel.free_frames() == 0
+                        or self.kernel.stat[ev.PAGES_RECLAIMED]
+                        > reclaimed_before)
+                if len(self.cache_pages) >= want and (
+                        full or not self.spec.cache_opportunistic):
+                    break
+                handle = self.kernel.alloc_pages(0, reclaimable=True)
+                self.cache_pages.append(handle)
+                self._cache_frames += handle.nframes
+                budget -= 1
+        except OutOfMemoryError:
+            self.oom_events += 1
+
+    # ------------------------------------------------------------------
+    # Steady-state churn
+    # ------------------------------------------------------------------
+
+    def step(self, ticks: int = 1000) -> None:
+        """One churn interval: expire dead allocations, create new ones."""
+        assert self.started
+        self.steps += 1
+        self._expire()
+        # Diurnal traffic factor for kernel-side churn.
+        spec0 = self.spec
+        if spec0.diurnal_amplitude:
+            phase = 2.0 * math.pi * self.steps / spec0.diurnal_period_steps
+            self._traffic = 1.0 + spec0.diurnal_amplitude * math.sin(phase)
+        else:
+            self._traffic = 1.0
+        if len(self.cache_pages) > 4 * self.kernel.mem.nframes // 64:
+            # Prune handles the kernel's reclaim already freed.
+            self.cache_pages = [h for h in self.cache_pages if not h.freed]
+            self._cache_frames = sum(h.nframes for h in self.cache_pages)
+        spec = self.spec
+        t = self._traffic
+        self._spawn_poisson(spec.net_rate_per_gib * t, self._spawn_netbuf)
+        self._spawn_poisson(spec.slab_rate_per_gib * t, self._spawn_slab)
+        self._spawn_poisson(spec.fs_rate_per_gib * t, self._spawn_fs)
+        self._spawn_poisson(spec.pin_rate_per_gib * t, self._spawn_pin)
+        self._spawn_poisson(spec.pagetable_rate_per_gib, self._spawn_pt)
+        self._spawn_poisson(spec.cache_churn_per_gib, self._spawn_cache)
+        self.kernel.advance(ticks)
+
+    def _spawn_poisson(self, rate_per_gib: float, fn) -> None:
+        expected = rate_per_gib * self._scale
+        count = int(expected)
+        if self.rng.random() < expected - count:
+            count += 1
+        for _ in range(count):
+            try:
+                fn()
+            except OutOfMemoryError:
+                self.oom_events += 1
+                return
+
+    def _lifetime(self, mean: float) -> int:
+        return max(1, int(self.rng.expovariate(1.0 / mean)))
+
+    def _push_expiry(self, kind: str, payload, lifetime: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._expiries, _Expiry(
+            self.steps + self._lifetime(lifetime), self._seq, kind, payload))
+
+    def _spawn_netbuf(self) -> None:
+        spec = self.spec
+        buf = self.netpool.alloc_buffer(
+            order=self.rng.choice(spec.net_buffer_orders))
+        if self.rng.random() < spec.net_straggler_fraction:
+            life = spec.net_straggler_lifetime_steps
+        else:
+            life = spec.net_lifetime_steps
+        self._push_expiry("net", buf, life)
+
+    def _spawn_slab(self) -> None:
+        cache = self.rng.choice(list(self.slab.caches.values()))
+        ref = cache.alloc_object()
+        self._push_expiry("slab", ref, self.spec.slab_lifetime_steps)
+
+    def _spawn_fs(self) -> None:
+        handle = self.kernel.alloc_pages(
+            0, source=AllocSource.FILESYSTEM,
+            migratetype=MigrateType.UNMOVABLE)
+        spec = self.spec
+        if self.rng.random() < spec.fs_straggler_fraction:
+            life = spec.fs_straggler_lifetime_steps
+        else:
+            life = spec.fs_lifetime_steps
+        self._push_expiry("fs", handle, life)
+
+    def _spawn_pin(self) -> None:
+        handle = self.kernel.alloc_pages(0)
+        self.kernel.pin_pages(handle)
+        self._push_expiry("pin", handle, self.spec.pin_lifetime_steps)
+
+    def _spawn_pt(self) -> None:
+        """Page-table pages of short-lived sibling processes (forks,
+        build jobs); a direct unmovable source beyond the service's own
+        mapping tree."""
+        handle = self.kernel.alloc_pages(
+            0, source=AllocSource.PAGETABLE,
+            migratetype=MigrateType.UNMOVABLE)
+        self._push_expiry("fs", handle, self.spec.pagetable_lifetime_steps)
+
+    def _spawn_cache(self) -> None:
+        handle = self.kernel.alloc_pages(
+            self.spec.cache_batch_order, reclaimable=True)
+        self.cache_pages.append(handle)
+        self._cache_frames += handle.nframes
+        if not self.spec.cache_opportunistic:
+            # Bounded-cache mode: stay at the configured utilisation.
+            # Eviction picks a *random* victim — file-access recency is
+            # uncorrelated with allocation address, so real LRU eviction
+            # shreds free memory across the address space.
+            target = int(self.kernel.mem.nframes * self.spec.cache_fraction)
+            while self._cache_frames > target and self.cache_pages:
+                i = self.rng.randrange(len(self.cache_pages))
+                self.cache_pages[i], self.cache_pages[-1] = \
+                    self.cache_pages[-1], self.cache_pages[i]
+                old = self.cache_pages.pop()
+                self._cache_frames -= old.nframes
+                if not old.freed:
+                    self.kernel.free_pages(old)
+
+    def _expire(self) -> None:
+        while self._expiries and self._expiries[0].deadline <= self.steps:
+            self._release(heapq.heappop(self._expiries))
+
+    def _drain_expiries(self, kernel_residue: float = 0.0) -> None:
+        """Flush every pending expiry.
+
+        Each live *kernel* allocation (networking/slab/fs/pagetable) leaks
+        with probability *kernel_residue* — it simply stays allocated,
+        scattered wherever it was placed.  Pins always die: the process
+        exit unpins and frees them.
+        """
+        while self._expiries:
+            item = heapq.heappop(self._expiries)
+            if (item.kind != "pin" and kernel_residue > 0
+                    and self.rng.random() < kernel_residue):
+                continue  # leaked: permanent unmovable residue
+            self._release(item)
+
+    def _release(self, item: _Expiry) -> None:
+        if item.kind == "net":
+            if not item.payload.freed:
+                self.netpool.free_buffer(item.payload)
+        elif item.kind == "slab":
+            item.payload.cache.free_object(item.payload)
+        elif item.kind in ("fs", "pin"):
+            handle = item.payload
+            if not handle.freed:
+                if handle.pinned:
+                    self.kernel.unpin_pages(handle)
+                self.kernel.free_pages(handle)
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+
+    def huge_coverage(self) -> dict[str, float]:
+        """Fraction of the anonymous heap backed by each page size."""
+        frames_1g = len(self.gigapages) * GIGAPAGE_FRAMES
+        frames_2m = sum(PAGEBLOCK_FRAMES for c in self.anon_chunks
+                        if isinstance(c, PageHandle))
+        frames_4k = sum(len(c) for c in self.anon_chunks
+                        if not isinstance(c, PageHandle))
+        total = frames_1g + frames_2m + frames_4k
+        if total == 0:
+            return {"1g": 0.0, "2m": 0.0, "4k": 0.0}
+        return {
+            "1g": frames_1g / total,
+            "2m": frames_2m / total,
+            "4k": frames_4k / total,
+        }
+
+    def anon_frames(self) -> int:
+        cov = 0
+        for chunk in self.anon_chunks:
+            cov += sum(h.nframes for h in self._chunk_handles(chunk))
+        return cov + len(self.gigapages) * GIGAPAGE_FRAMES
+
+    @staticmethod
+    def _chunk_handles(chunk) -> list[PageHandle]:
+        return [chunk] if isinstance(chunk, PageHandle) else chunk

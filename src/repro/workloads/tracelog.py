@@ -1,0 +1,181 @@
+"""Allocation-trace recording and replay.
+
+Science-grade kernel comparison needs *identical* inputs: record the
+allocation event stream a workload produced once, then replay it verbatim
+against any kernel.  The paper's A/B infrastructure serves the same
+purpose with live traffic mirroring (§4); here the trace file is the
+mirror.
+
+Events are logical, not physical: ``alloc`` records order/source/
+migratetype/pinned and assigns a trace-local id; ``free``/``pin``/
+``unpin`` refer to that id; ``advance`` carries simulated time.  Replay
+maps ids to whatever handles the target kernel returns, so the same trace
+drives kernels with totally different placement decisions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO
+
+from ..errors import ConfigurationError, OutOfMemoryError, ReproError
+from ..mm.page import AllocSource, MigrateType
+
+#: Trace format version.
+TRACE_VERSION = 1
+
+
+@dataclass
+class TraceEvent:
+    """One logical allocation event."""
+
+    op: str                 # alloc | free | pin | unpin | advance
+    obj: int = -1           # trace-local object id (alloc assigns)
+    order: int = 0
+    source: int = 0
+    migratetype: int | None = None
+    pinned: bool = False
+    reclaimable: bool = False
+    dt: int = 0             # for advance
+
+    def to_json(self) -> str:
+        payload = {k: v for k, v in self.__dict__.items()
+                   if v not in (None,)}
+        return json.dumps(payload, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        return cls(**json.loads(line))
+
+
+class TraceRecorder:
+    """Wraps a kernel, logging every call it forwards.
+
+    Use it exactly like a kernel facade for the five operations it
+    records; everything else is delegated untouched.
+    """
+
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+        self.events: list[TraceEvent] = []
+        self._ids: dict[int, int] = {}  # id(handle) -> trace id
+        self._next = 0
+
+    def alloc_pages(self, order: int = 0,
+                    source: AllocSource = AllocSource.USER,
+                    migratetype: MigrateType | None = None,
+                    pinned: bool = False, reclaimable: bool = False,
+                    **kwargs):
+        handle = self.kernel.alloc_pages(
+            order=order, source=source, migratetype=migratetype,
+            pinned=pinned, reclaimable=reclaimable, **kwargs)
+        obj = self._next
+        self._next += 1
+        self._ids[id(handle)] = obj
+        self.events.append(TraceEvent(
+            op="alloc", obj=obj, order=order, source=int(source),
+            migratetype=None if migratetype is None else int(migratetype),
+            pinned=pinned, reclaimable=reclaimable))
+        return handle
+
+    def free_pages(self, handle) -> None:
+        obj = self._ids.pop(id(handle), None)
+        if obj is None:
+            raise ReproError("freeing a handle the recorder never saw")
+        self.kernel.free_pages(handle)
+        self.events.append(TraceEvent(op="free", obj=obj))
+
+    def pin_pages(self, handle) -> None:
+        self.kernel.pin_pages(handle)
+        self.events.append(TraceEvent(op="pin",
+                                      obj=self._ids[id(handle)]))
+
+    def unpin_pages(self, handle) -> None:
+        self.kernel.unpin_pages(handle)
+        self.events.append(TraceEvent(op="unpin",
+                                      obj=self._ids[id(handle)]))
+
+    def advance(self, dt: int = 1000) -> None:
+        self.kernel.advance(dt)
+        self.events.append(TraceEvent(op="advance", dt=dt))
+
+    def __getattr__(self, name):
+        return getattr(self.kernel, name)
+
+    # ------------------------------------------------------------------
+
+    def save(self, fh: IO[str]) -> int:
+        """Write the trace as JSON lines; returns events written."""
+        fh.write(json.dumps({"version": TRACE_VERSION,
+                             "events": len(self.events)}) + "\n")
+        for event in self.events:
+            fh.write(event.to_json() + "\n")
+        return len(self.events)
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying a trace on one kernel."""
+
+    events: int = 0
+    alloc_failures: int = 0
+    live_objects: dict[int, object] = field(default_factory=dict)
+
+
+def load_trace(fh: IO[str]) -> list[TraceEvent]:
+    """Read a trace written by :meth:`TraceRecorder.save`."""
+    header = json.loads(fh.readline())
+    if header.get("version") != TRACE_VERSION:
+        raise ConfigurationError(
+            f"unsupported trace version {header.get('version')}")
+    return [TraceEvent.from_json(line) for line in fh if line.strip()]
+
+
+def replay(events: list[TraceEvent], kernel,
+           tolerate_oom: bool = True) -> ReplayResult:
+    """Replay a recorded event stream against *kernel*.
+
+    Allocation failures are tolerated by default (a smaller or more
+    fragmented target may OOM where the recording kernel did not): the
+    failed object simply never exists, and its later events are skipped —
+    the comparison then includes the failure count itself.
+    """
+    result = ReplayResult()
+    for event in events:
+        result.events += 1
+        if event.op == "advance":
+            kernel.advance(event.dt)
+            continue
+        if event.op == "alloc":
+            mt = (None if event.migratetype is None
+                  else MigrateType(event.migratetype))
+            try:
+                handle = kernel.alloc_pages(
+                    order=event.order,
+                    source=AllocSource(event.source),
+                    migratetype=mt,
+                    pinned=event.pinned,
+                    reclaimable=event.reclaimable)
+            except OutOfMemoryError:
+                if not tolerate_oom:
+                    raise
+                result.alloc_failures += 1
+                continue
+            result.live_objects[event.obj] = handle
+            continue
+        handle = result.live_objects.get(event.obj)
+        if handle is None or handle.freed:
+            continue  # object never materialised (or reclaimed)
+        if event.op == "free":
+            if handle.pinned:
+                kernel.unpin_pages(handle)
+            kernel.free_pages(handle)
+            del result.live_objects[event.obj]
+        elif event.op == "pin":
+            kernel.pin_pages(handle)
+        elif event.op == "unpin":
+            kernel.unpin_pages(handle)
+        else:
+            raise ConfigurationError(f"unknown trace op {event.op!r}")
+    return result

@@ -1,0 +1,140 @@
+"""Address spaces, VMAs, demand faulting, khugepaged integration."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ReproError
+from repro.units import FRAME_SIZE, PAGEBLOCK_FRAMES
+from repro.vm import EXTENT_BYTES, AddressSpace, VMA
+
+from conftest import make_contiguitas, make_linux
+
+
+@pytest.fixture
+def aspace(linux):
+    return AddressSpace(linux)
+
+
+class TestVMA:
+    def test_alignment_enforced(self):
+        with pytest.raises(ConfigurationError):
+            VMA(1, 4096)
+        with pytest.raises(ConfigurationError):
+            VMA(0, 100)
+
+    def test_contains(self):
+        vma = VMA(EXTENT_BYTES, EXTENT_BYTES)
+        assert EXTENT_BYTES in vma
+        assert 2 * EXTENT_BYTES - 1 in vma
+        assert 2 * EXTENT_BYTES not in vma
+
+    def test_extent_of(self):
+        vma = VMA(EXTENT_BYTES, 4 * EXTENT_BYTES)
+        extent, offset = vma.extent_of(EXTENT_BYTES + EXTENT_BYTES + 4096)
+        assert extent == 1
+        assert offset == 4096
+
+
+class TestFaulting:
+    def test_mmap_is_lazy(self, aspace):
+        vma = aspace.mmap(8 * EXTENT_BYTES)
+        assert vma.resident_frames() == 0
+        assert aspace.kernel.free_frames() == aspace.kernel.mem.nframes
+
+    def test_fault_backs_with_thp(self, aspace):
+        vma = aspace.mmap(2 * EXTENT_BYTES)
+        handle = aspace.fault(vma.start)
+        assert handle.order == 9
+        assert aspace.thp_faults == 1
+        assert vma.resident_frames() == PAGEBLOCK_FRAMES
+
+    def test_fault_idempotent(self, aspace):
+        vma = aspace.mmap(EXTENT_BYTES)
+        a = aspace.fault(vma.start)
+        b = aspace.fault(vma.start + 4096)
+        assert a is b
+        assert aspace.minor_faults == 1
+
+    def test_partial_extent_uses_base_pages(self, aspace):
+        vma = aspace.mmap(FRAME_SIZE * 3)  # less than one extent
+        handle = aspace.fault(vma.start)
+        assert handle.order == 0
+        assert vma.resident_frames() == 1
+
+    def test_thp_ineligible_uses_base_pages(self, aspace):
+        vma = aspace.mmap(2 * EXTENT_BYTES, thp_eligible=False)
+        handle = aspace.fault(vma.start)
+        assert handle.order == 0
+
+    def test_unmapped_access_faults(self, aspace):
+        with pytest.raises(ReproError):
+            aspace.fault(0x1234)
+
+    def test_munmap_releases_backing(self, aspace):
+        vma = aspace.mmap(2 * EXTENT_BYTES)
+        aspace.fault(vma.start)
+        aspace.fault(vma.start + EXTENT_BYTES)
+        released = aspace.munmap(vma)
+        assert released == 2 * PAGEBLOCK_FRAMES
+        # Page tables went away with the mapping.
+        assert aspace.kernel.free_frames() == aspace.kernel.mem.nframes
+
+    def test_munmap_foreign_vma_rejected(self, aspace):
+        with pytest.raises(ReproError):
+            aspace.munmap(VMA(0, EXTENT_BYTES))
+
+
+class TestTranslate:
+    def test_huge_translation_contiguity(self, aspace):
+        vma = aspace.mmap(EXTENT_BYTES)
+        pfn0, shift = aspace.translate(vma.start)
+        pfn1, _ = aspace.translate(vma.start + 5 * FRAME_SIZE)
+        assert shift == 21
+        assert pfn1 == pfn0 + 5  # physically contiguous within the THP
+
+    def test_base_translation(self, aspace):
+        vma = aspace.mmap(FRAME_SIZE)
+        pfn, shift = aspace.translate(vma.start)
+        assert shift == 12
+        assert aspace.kernel.mem.is_allocated(pfn)
+
+
+class TestKhugepaged:
+    def _fragment_then_map(self, kernel):
+        """Force base-page backing by disabling THP during faulting."""
+        kernel.config.thp_enabled = False
+        aspace = AddressSpace(kernel)
+        vma = aspace.mmap(2 * EXTENT_BYTES)
+        for off in range(0, vma.length, FRAME_SIZE):
+            aspace.fault(vma.start + off)
+        kernel.config.thp_enabled = True
+        return aspace, vma
+
+    def test_candidates_found(self):
+        aspace, vma = self._fragment_then_map(make_linux())
+        assert len(aspace.collapse_candidates()) == 2
+
+    def test_pass_collapses_extents(self):
+        aspace, vma = self._fragment_then_map(make_linux())
+        collapsed = aspace.khugepaged_pass()
+        assert collapsed == 2
+        assert aspace.huge_coverage() == 1.0
+        pfn, shift = aspace.translate(vma.start)
+        assert shift == 21
+        aspace.kernel.check_consistency()
+
+    def test_pass_respects_budget(self):
+        aspace, _ = self._fragment_then_map(make_linux())
+        assert aspace.khugepaged_pass(max_collapses=1) == 1
+        assert 0.0 < aspace.huge_coverage() < 1.0
+
+    def test_contiguitas_promotes_after_fragmentation(self):
+        """Integration: on Contiguitas, khugepaged recovers huge coverage
+        even after the full-fragmentation process — the OS-side payoff
+        the paper's Fig. 10 quantifies."""
+        from repro.workloads import fragment_fully
+
+        kernel = make_contiguitas(mem_mib=64)
+        fragment_fully(kernel)
+        aspace, vma = self._fragment_then_map(kernel)
+        assert aspace.khugepaged_pass(max_collapses=16) > 0
+        assert aspace.huge_coverage() > 0.0

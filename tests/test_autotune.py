@@ -1,0 +1,67 @@
+"""Automated resize-parameter search (paper future work)."""
+
+import pytest
+
+from repro.core import ResizeConfig
+from repro.core.autotune import (
+    ScenarioResult,
+    TuneOutcome,
+    random_search,
+    replay_demand,
+    square_wave_demand,
+)
+from repro.errors import ConfigurationError
+from repro.units import MiB
+
+
+def test_square_wave_shape():
+    trace = square_wave_demand(periods=2, low_frames=10, high_frames=20,
+                               steps_per_level=3)
+    assert trace == [10, 10, 10, 20, 20, 20] * 2
+
+
+def test_replay_measures_costs():
+    result = replay_demand(ResizeConfig(), square_wave_demand(periods=1),
+                           mem_bytes=MiB(64))
+    assert result.waste_frame_steps > 0
+    assert result.boundary_moves >= 0
+    assert result.cost() > 0
+
+
+def test_replay_deterministic():
+    demand = square_wave_demand(periods=1)
+    a = replay_demand(ResizeConfig(), demand, seed=3)
+    b = replay_demand(ResizeConfig(), demand, seed=3)
+    assert a.cost() == b.cost()
+
+
+def test_cost_weights():
+    r = ScenarioResult(waste_frame_steps=10, stall_ticks=1.0,
+                       boundary_moves=2)
+    assert r.cost(waste_weight=1, stall_weight=0, move_weight=0) == 10
+    assert r.cost(waste_weight=0, stall_weight=5, move_weight=0) == 5
+    assert r.cost(waste_weight=0, stall_weight=0, move_weight=1) == 2
+
+
+def test_search_never_worse_than_baseline():
+    out = random_search(trials=4, seed=2)
+    assert out.best_cost <= out.baseline_cost
+    assert out.improvement >= 0.0
+    assert out.trials == 4
+    assert len(out.history) == 5  # baseline + trials
+
+
+def test_search_requires_trials():
+    with pytest.raises(ConfigurationError):
+        random_search(trials=0)
+
+
+def test_aggressive_coefficients_shrink_harder():
+    """Sanity: a config with a much larger shrink coefficient wastes less
+    region memory on a falling-demand trace (at the price of moves)."""
+    falling = [2048] * 30 + [128] * 120
+    lazy = ResizeConfig(c_us=0.005)
+    eager = ResizeConfig(c_us=0.4)
+    waste_lazy = replay_demand(lazy, falling).waste_frame_steps
+    waste_eager = replay_demand(eager, falling).waste_frame_steps
+    assert waste_eager < waste_lazy

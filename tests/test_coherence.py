@@ -1,0 +1,106 @@
+"""MESI directory protocol and its integration with Contiguitas-HW."""
+
+import pytest
+
+from repro.core.hwext import HwMigrationEngine
+from repro.errors import ConfigurationError, HardwareProtocolError
+from repro.sim import Directory, MesiState
+from repro.units import LINES_PER_PAGE
+
+
+class TestMesiBasics:
+    def test_cold_line_invalid(self):
+        d = Directory()
+        assert d.state(5, 0) is MesiState.INVALID
+
+    def test_read_gives_shared(self):
+        d = Directory()
+        d.read(5, 0)
+        d.read(5, 1)
+        assert d.state(5, 0) is MesiState.SHARED
+        assert d.state(5, 1) is MesiState.SHARED
+        assert d.holders(5) == {0, 1}
+
+    def test_write_gives_modified_and_invalidates(self):
+        d = Directory()
+        d.read(5, 0)
+        d.read(5, 1)
+        d.write(5, 2)
+        assert d.state(5, 2) is MesiState.MODIFIED
+        assert d.state(5, 0) is MesiState.INVALID
+        assert d.state(5, 1) is MesiState.INVALID
+        assert d.stats.invalidations_sent >= 2
+
+    def test_read_downgrades_modified_with_writeback(self):
+        d = Directory()
+        d.write(5, 0)
+        wb_before = d.stats.writebacks
+        d.read(5, 1)
+        assert d.stats.writebacks == wb_before + 1
+        assert d.state(5, 0) is MesiState.SHARED
+        assert d.state(5, 1) is MesiState.SHARED
+
+    def test_repeat_write_by_owner_is_cheap(self):
+        d = Directory()
+        first = d.write(5, 0)
+        again = d.write(5, 0)
+        assert again < first
+
+    def test_evict_modified_writes_back(self):
+        d = Directory()
+        d.write(5, 0)
+        assert d.evict(5, 0) > 0
+        assert d.state(5, 0) is MesiState.INVALID
+        assert d.stats.writebacks == 1
+
+    def test_evict_clean_is_free(self):
+        d = Directory()
+        d.read(5, 0)
+        assert d.evict(5, 0) == 0
+
+    def test_bus_rdx_clears_all_holders(self):
+        d = Directory()
+        d.read(7, 0)
+        d.read(7, 1)
+        d.write(8, 2)
+        d.bus_rdx(7)
+        d.bus_rdx(8)
+        assert d.holders(7) == set()
+        assert d.holders(8) == set()
+        assert d.stats.bus_rdx == 2
+        # The modified line was written back before invalidation.
+        assert d.stats.writebacks == 1
+
+    def test_core_bounds(self):
+        d = Directory(ncores=2)
+        with pytest.raises(HardwareProtocolError):
+            d.read(1, 5)
+        with pytest.raises(ConfigurationError):
+            Directory(ncores=0)
+
+
+class TestEngineWithDirectory:
+    def test_copy_invalidates_private_copies(self):
+        d = Directory()
+        eng = HwMigrationEngine(directory=d)
+        src, dst = 100, 200
+        # Cores cache a couple of source lines before the migration.
+        d.write(src * LINES_PER_PAGE + 3, 1)
+        d.read(src * LINES_PER_PAGE + 9, 4)
+        report = eng.migrate_page(src, dst)
+        assert report.lines_copied == LINES_PER_PAGE
+        assert d.holders(src * LINES_PER_PAGE + 3) == set()
+        assert d.holders(src * LINES_PER_PAGE + 9) == set()
+        # The dirty private line was written back by the BusRdX.
+        assert d.stats.writebacks >= 1
+        assert d.stats.bus_rdx == 2 * LINES_PER_PAGE
+
+    def test_directory_costs_flow_into_report(self):
+        base = HwMigrationEngine().migrate_page(100, 200).copy_cycles
+        d = Directory()
+        # Make many source lines dirty: the coherent copy pays writebacks.
+        for line in range(0, LINES_PER_PAGE, 2):
+            d.write(100 * LINES_PER_PAGE + line, 0)
+        cost = HwMigrationEngine(directory=d).migrate_page(
+            100, 200).copy_cycles
+        assert cost > base

@@ -1,0 +1,119 @@
+"""Fleet sampling, statistics, and the uptime non-correlation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet import (
+    SimulatedServer,
+    ServerConfig,
+    cdf_at,
+    median,
+    pearson,
+    percentile,
+    sample_fleet,
+)
+from repro.mm.page import AllocSource
+from repro.units import MiB
+
+
+class TestStats:
+    def test_pearson_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_pearson_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_pearson_independent_near_zero(self):
+        import random
+        rng = random.Random(0)
+        xs = [rng.random() for _ in range(2000)]
+        ys = [rng.random() for _ in range(2000)]
+        assert abs(pearson(xs, ys)) < 0.1
+
+    def test_pearson_constant_series(self):
+        assert pearson([1, 1, 1], [2, 3, 4]) == 0.0
+
+    def test_pearson_validation(self):
+        with pytest.raises(ConfigurationError):
+            pearson([1], [1, 2])
+        with pytest.raises(ConfigurationError):
+            pearson([1], [1])
+
+    def test_cdf_at(self):
+        assert cdf_at([1, 2, 3, 4], 2) == 0.5
+        assert cdf_at([1, 2, 3, 4], 0) == 0.0
+        assert cdf_at([1, 2, 3, 4], 10) == 1.0
+
+    def test_percentile_and_median(self):
+        vals = [1, 2, 3, 4, 5]
+        assert median(vals) == 3
+        assert percentile(vals, 0) == 1
+        assert percentile(vals, 100) == 5
+        assert percentile(vals, 25) == 2
+
+    def test_percentile_validation(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+        with pytest.raises(ConfigurationError):
+            percentile([1], 200)
+
+
+class TestFleetSampling:
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        config = ServerConfig(mem_bytes=MiB(64), min_uptime_steps=30,
+                              max_uptime_steps=200)
+        return sample_fleet(n_servers=6, config=config, base_seed=7)
+
+    def test_scan_count(self, fleet):
+        assert len(fleet.scans) == 6
+
+    def test_scans_have_all_granularities(self, fleet):
+        for scan in fleet.scans:
+            assert set(scan.contiguity) == {"2MB", "4MB", "32MB", "1GB"}
+
+    def test_unmovable_present_on_every_server(self, fleet):
+        for scan in fleet.scans:
+            assert scan.unmovable["2MB"] > 0
+
+    def test_contiguity_degrades_with_granularity(self, fleet):
+        for scan in fleet.scans:
+            assert scan.contiguity["2MB"] >= scan.contiguity["32MB"]
+            assert scan.contiguity["32MB"] >= scan.contiguity["1GB"]
+
+    def test_networking_dominates_sources(self, fleet):
+        breakdown = fleet.source_breakdown()
+        top = max(breakdown, key=breakdown.get)
+        assert top is AllocSource.NETWORKING
+
+    def test_source_fractions_sum_to_one(self, fleet):
+        assert sum(fleet.source_breakdown().values()) == pytest.approx(1.0)
+
+    def test_aggregates_run(self, fleet):
+        assert 0 <= fleet.fraction_without_any("1GB") <= 1
+        assert 0 <= fleet.median_unmovable("2MB") <= 1
+
+    def test_same_seed_is_deterministic(self):
+        config = ServerConfig(mem_bytes=MiB(64), min_uptime_steps=20,
+                              max_uptime_steps=40)
+        a = SimulatedServer(config, seed=3).run()
+        b = SimulatedServer(config, seed=3).run()
+        assert a.contiguity == b.contiguity
+        assert a.uptime_steps == b.uptime_steps
+
+
+class TestFleetReport:
+    def test_render_report_contains_all_sections(self):
+        from repro.fleet import ServerConfig, render_report, sample_fleet
+        from repro.units import MiB
+
+        sample = sample_fleet(n_servers=3, config=ServerConfig(
+            mem_bytes=MiB(64), min_uptime_steps=30, max_uptime_steps=60),
+            base_seed=5)
+        report = render_report(sample, title="Test study")
+        assert "# Test study" in report
+        assert "Fig. 4" in report
+        assert "Fig. 5" in report
+        assert "Fig. 6" in report
+        assert "Pearson" in report
+        assert "networking" in report

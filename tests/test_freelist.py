@@ -1,0 +1,100 @@
+"""FreeList: ordered extraction with lazy-deletion heaps."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mm.freelist import FreeList
+
+
+def test_empty_behaviour():
+    fl = FreeList()
+    assert len(fl) == 0
+    assert not fl
+    with pytest.raises(KeyError):
+        fl.pop_lowest()
+    with pytest.raises(KeyError):
+        fl.pop_highest()
+    with pytest.raises(KeyError):
+        fl.peek_lowest()
+
+
+def test_add_and_membership():
+    fl = FreeList()
+    fl.add(10)
+    fl.add(5)
+    assert 10 in fl
+    assert 5 in fl
+    assert 7 not in fl
+    assert len(fl) == 2
+
+
+def test_add_is_idempotent():
+    fl = FreeList()
+    fl.add(3)
+    fl.add(3)
+    assert len(fl) == 1
+    assert fl.pop_lowest() == 3
+    assert len(fl) == 0
+
+
+def test_pop_lowest_order():
+    fl = FreeList()
+    for pfn in [30, 10, 20]:
+        fl.add(pfn)
+    assert [fl.pop_lowest() for _ in range(3)] == [10, 20, 30]
+
+
+def test_pop_highest_order():
+    fl = FreeList()
+    for pfn in [30, 10, 20]:
+        fl.add(pfn)
+    assert [fl.pop_highest() for _ in range(3)] == [30, 20, 10]
+
+
+def test_discard_then_pop_skips_stale_entries():
+    fl = FreeList()
+    for pfn in [1, 2, 3]:
+        fl.add(pfn)
+    assert fl.discard(1)
+    assert not fl.discard(1)  # already gone
+    assert fl.pop_lowest() == 2
+
+
+def test_peek_does_not_remove():
+    fl = FreeList()
+    fl.add(42)
+    assert fl.peek_lowest() == 42
+    assert fl.peek_highest() == 42
+    assert 42 in fl
+
+
+def test_readd_after_discard():
+    fl = FreeList()
+    fl.add(7)
+    fl.discard(7)
+    fl.add(7)
+    assert fl.pop_highest() == 7
+
+
+@settings(max_examples=200)
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 100))))
+def test_matches_reference_set(ops):
+    """Property: FreeList behaves like a sorted set under add/discard."""
+    fl = FreeList()
+    ref: set[int] = set()
+    for is_add, pfn in ops:
+        if is_add:
+            fl.add(pfn)
+            ref.add(pfn)
+        else:
+            assert fl.discard(pfn) == (pfn in ref)
+            ref.discard(pfn)
+        assert len(fl) == len(ref)
+        if ref:
+            assert fl.peek_lowest() == min(ref)
+            assert fl.peek_highest() == max(ref)
+    drained = []
+    while fl:
+        drained.append(fl.pop_lowest())
+    assert drained == sorted(ref)

@@ -1,0 +1,77 @@
+"""Handle registry lifecycle and the placement policy."""
+
+import pytest
+
+from repro.core import PlacementPolicy
+from repro.mm import AllocSource, HandleRegistry, MigrateType, PageHandle
+
+
+def handle(pfn=0, order=0):
+    return PageHandle(pfn, order, MigrateType.MOVABLE, AllocSource.USER, 0)
+
+
+class TestPageHandle:
+    def test_nframes(self):
+        assert handle(order=3).nframes == 8
+
+    def test_repr_states(self):
+        h = handle()
+        assert "live" in repr(h)
+        h.pinned = True
+        assert "pinned" in repr(h)
+        h.freed = True
+        assert "freed" in repr(h)
+
+
+class TestHandleRegistry:
+    def test_register_and_get(self):
+        reg = HandleRegistry()
+        h = reg.register(handle(pfn=10))
+        assert reg.get(10) is h
+        assert 10 in reg
+        assert len(reg) == 1
+
+    def test_duplicate_pfn_asserts(self):
+        reg = HandleRegistry()
+        reg.register(handle(pfn=10))
+        with pytest.raises(AssertionError):
+            reg.register(handle(pfn=10))
+
+    def test_on_free_marks_and_removes(self):
+        reg = HandleRegistry()
+        h = reg.register(handle(pfn=10))
+        reg.on_free(h)
+        assert h.freed
+        assert 10 not in reg
+
+    def test_relocate_moves_key_and_pfn(self):
+        reg = HandleRegistry()
+        h = reg.register(handle(pfn=10))
+        reg.relocate(10, 99)
+        assert h.pfn == 99
+        assert reg.get(99) is h
+        assert 10 not in reg
+
+    def test_live_handles(self):
+        reg = HandleRegistry()
+        a = reg.register(handle(pfn=1))
+        b = reg.register(handle(pfn=2))
+        assert set(reg.live_handles()) == {a, b}
+
+
+class TestPlacementPolicy:
+    def test_default_bias_away_from_border(self):
+        policy = PlacementPolicy()
+        assert policy.direction(AllocSource.NETWORKING) == "high"
+        assert policy.direction(AllocSource.SLAB) == "high"
+        assert policy.direction(AllocSource.KERNEL_CODE) == "high"
+
+    def test_pin_migrations_next_to_border(self):
+        policy = PlacementPolicy()
+        assert policy.direction(AllocSource.USER,
+                                pin_migration=True) == "low"
+
+    def test_disabled_returns_none(self):
+        policy = PlacementPolicy(bias_enabled=False)
+        assert policy.direction(AllocSource.NETWORKING) is None
+        assert policy.direction(AllocSource.USER, pin_migration=True) is None

@@ -1,0 +1,74 @@
+"""Event-driven migration traffic and lazy-invalidation windows."""
+
+import pytest
+
+from repro.core.hwext import AccessMode
+from repro.sim import DEFAULT_PARAMS
+from repro.sim.hwtiming import (
+    lazy_invalidation_window,
+    per_line_copy_cycles,
+    simulate_migration_traffic,
+    table_occupancy_bound,
+)
+from repro.units import LINES_PER_PAGE
+
+
+class TestMigrationTraffic:
+    def test_no_access_is_ever_blocked(self):
+        result = simulate_migration_traffic(accesses_per_kilocycle=20.0)
+        assert result.blocked_accesses == 0
+        assert result.samples, "traffic should have been generated"
+        # Worst case is one LLC access — never a migration-length stall.
+        assert result.max_latency <= DEFAULT_PARAMS.l3_latency
+
+    def test_copy_completes(self):
+        result = simulate_migration_traffic()
+        expected = LINES_PER_PAGE * per_line_copy_cycles(DEFAULT_PARAMS)
+        assert result.copy_done_at == expected
+
+    def test_redirection_splits_src_dst(self):
+        result = simulate_migration_traffic(accesses_per_kilocycle=50.0,
+                                            seed=3)
+        served = {s.served_from for s in result.samples}
+        assert "llc-src" in served
+        assert "llc-dst" in served
+
+    def test_cacheable_mode_cheaper_on_average(self):
+        nc = simulate_migration_traffic(mode=AccessMode.NONCACHEABLE,
+                                        accesses_per_kilocycle=50.0, seed=5)
+        c = simulate_migration_traffic(mode=AccessMode.CACHEABLE,
+                                       accesses_per_kilocycle=50.0, seed=5)
+        assert c.mean_latency < nc.mean_latency
+
+    def test_deterministic_by_seed(self):
+        a = simulate_migration_traffic(seed=9)
+        b = simulate_migration_traffic(seed=9)
+        assert a.mean_latency == b.mean_latency
+
+
+class TestLazyWindow:
+    def test_window_scale_matches_paper(self):
+        """§5.3: 40K kernel entries/s per core gives windows of up to
+        ~25 µs; the mean of the max over 8 cores sits below that."""
+        samples = lazy_invalidation_window(trials=300)
+        us = [s.window_us() for s in samples]
+        assert max(us) <= 25.0 + 1e-9
+        assert 10.0 < sum(us) / len(us) < 25.0
+
+    def test_faster_kernel_entries_shrink_window(self):
+        slow = lazy_invalidation_window(
+            kernel_entry_rate_per_second=40_000, trials=100)
+        fast = lazy_invalidation_window(
+            kernel_entry_rate_per_second=100_000, trials=100)
+        mean = lambda xs: sum(x.window_cycles for x in xs) / len(xs)
+        assert mean(fast) < mean(slow)
+
+    def test_table_occupancy_tiny_at_very_high_rate(self):
+        """§5.3's sizing argument: even 1000 migrations/s occupies a tiny
+        fraction of one entry on average — 16 entries are generous."""
+        occ = table_occupancy_bound(migrations_per_second=1000.0)
+        assert occ < 0.2
+
+    def test_occupancy_linear_in_rate(self):
+        assert table_occupancy_bound(2000.0) == pytest.approx(
+            2 * table_occupancy_bound(1000.0))

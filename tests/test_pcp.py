@@ -1,0 +1,127 @@
+"""Per-CPU page caches."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mm import (
+    BuddyAllocator,
+    KernelConfig,
+    LinuxKernel,
+    MigrateType,
+    PageblockTable,
+    PhysicalMemory,
+    VmStat,
+)
+from repro.mm.pcp import PerCpuPages
+from repro.units import MiB
+
+
+def make_pcp(mem_mib=8, **kwargs):
+    mem = PhysicalMemory(MiB(mem_mib))
+    buddy = BuddyAllocator(mem, PageblockTable(mem), VmStat(),
+                           prefer="lifo")
+    buddy.seed_free()
+    return PerCpuPages(buddy, **kwargs)
+
+
+class TestPerCpuPages:
+    def test_alloc_refills_batch(self):
+        pcp = make_pcp(batch=16)
+        pfn = pcp.alloc(MigrateType.MOVABLE)
+        assert pfn is not None
+        assert pcp.refills == 1
+        assert pcp.held_pages() == 15  # batch minus the allocated page
+
+    def test_free_parks_on_list(self):
+        pcp = make_pcp()
+        pfn = pcp.alloc(MigrateType.MOVABLE)
+        nr_free_before = pcp.buddy.nr_free
+        pcp.free(pfn)
+        assert pcp.buddy.nr_free == nr_free_before  # parked, not returned
+        assert not pcp.buddy.mem.is_allocated(pfn)
+
+    def test_spill_over_high(self):
+        pcp = make_pcp(batch=8, high=8)
+        pfns = [pcp.alloc(MigrateType.MOVABLE, cpu=0) for _ in range(9)]
+        for pfn in pfns:
+            pcp.free(pfn, cpu=0)
+        assert pcp.spills >= 1
+
+    def test_reuse_is_per_cpu(self):
+        pcp = make_pcp(cpus=2, batch=4)
+        a = pcp.alloc(MigrateType.MOVABLE, cpu=0)
+        b = pcp.alloc(MigrateType.MOVABLE, cpu=1)
+        pcp.free(a, cpu=0)
+        # CPU 0 reuses its own freed page (LIFO within the CPU).
+        assert a in pcp._lists[0][pcp.buddy.pageblocks.get(a)]
+        assert b not in pcp._lists[0][MigrateType.MOVABLE]
+
+    def test_round_robin_interleaves_cpus(self):
+        pcp = make_pcp(cpus=4, batch=8)
+        pfns = [pcp.alloc(MigrateType.MOVABLE) for _ in range(4)]
+        # Four consecutive allocations came from four different batches.
+        assert len({pfn // 8 for pfn in pfns}) >= 2
+
+    def test_drain_returns_everything(self):
+        pcp = make_pcp(batch=16)
+        pcp.alloc(MigrateType.MOVABLE)
+        drained = pcp.drain()
+        assert drained == 15
+        assert pcp.held_pages() == 0
+
+    def test_higher_orders_bypass(self):
+        pcp = make_pcp()
+        pfn = pcp.buddy.alloc(3, MigrateType.MOVABLE)
+        pcp.free(pfn)  # order-3: straight back to the buddy
+        assert pcp.held_pages() == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_pcp(batch=0)
+        with pytest.raises(ConfigurationError):
+            make_pcp(batch=64, high=32)
+
+
+class TestKernelIntegration:
+    def test_kernel_consistency_with_pcp(self):
+        k = LinuxKernel(KernelConfig(mem_bytes=MiB(16), pcp_enabled=True))
+        handles = [k.alloc_pages(0) for _ in range(300)]
+        for h in handles[::3]:
+            k.free_pages(h)
+        k.check_consistency()
+        assert k.free_frames() == k.mem.free_frames()
+
+    def test_slow_path_drains_pcp(self):
+        k = LinuxKernel(KernelConfig(mem_bytes=MiB(4), pcp_enabled=True))
+        handles = []
+        from repro.errors import OutOfMemoryError
+        try:
+            while True:
+                handles.append(k.alloc_pages(0))
+        except OutOfMemoryError:
+            pass
+        # Everything allocatable was allocated: PCPs were drained rather
+        # than hoarding invisible pages.
+        assert k.free_frames() == 0
+
+    def test_gigapage_path_drains_pcp(self):
+        k = LinuxKernel(KernelConfig(mem_bytes=MiB(1026),
+                                     pcp_enabled=True))
+        k.alloc_pages(0)  # prime a PCP batch
+        h = k.alloc_gigapage()
+        assert h.nframes == 262144
+        k.check_consistency()
+
+    def test_contiguitas_pcp_respects_confinement(self):
+        from repro.core import ContiguitasConfig, ContiguitasKernel
+        from repro.mm import AllocSource
+
+        k = ContiguitasKernel(ContiguitasConfig(mem_bytes=MiB(32),
+                                                pcp_enabled=True))
+        user = [k.alloc_pages(0) for _ in range(100)]
+        net = [k.alloc_pages(0, source=AllocSource.NETWORKING)
+               for _ in range(50)]
+        assert all(not k.layout.in_unmovable(h.pfn) for h in user)
+        assert all(k.layout.in_unmovable(h.pfn) for h in net)
+        assert k.confinement_violations() == 0
+        k.check_consistency()

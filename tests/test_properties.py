@@ -1,0 +1,144 @@
+"""Property-based tests over core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ResizeConfig, target_unmovable_frames
+from repro.core.hwext import MigrationEntry
+from repro.mm import AllocSource, MigrateType, PsiTracker
+from repro.sim import slice_of
+from repro.sim.tlb import SHIFT_4K, SetAssocTLB
+from repro.units import LINES_PER_PAGE
+
+from conftest import make_contiguitas, make_linux
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**31), st.integers(2, 20))
+def test_kernel_consistency_under_random_ops(seed, mem_blocks):
+    """Any alloc/free/pin interleaving leaves both kernels' bookkeeping
+    exact: free counts match the frame arrays and confinement holds."""
+    rng = random.Random(seed)
+    mem_mib = mem_blocks * 2
+    for kernel in (make_linux(mem_mib), make_contiguitas(max(8, mem_mib))):
+        live = []
+        for _ in range(120):
+            roll = rng.random()
+            if live and roll < 0.4:
+                handle = live.pop(rng.randrange(len(live)))
+                if handle.pinned:
+                    kernel.unpin_pages(handle)
+                kernel.free_pages(handle)
+            else:
+                try:
+                    if roll < 0.7:
+                        handle = kernel.alloc_pages(
+                            rng.choice([0, 0, 1, 3]))
+                    else:
+                        handle = kernel.alloc_pages(
+                            0, source=rng.choice(
+                                [AllocSource.NETWORKING,
+                                 AllocSource.SLAB]))
+                    if rng.random() < 0.1:
+                        kernel.pin_pages(handle)
+                    live.append(handle)
+                except Exception:
+                    pass
+        kernel.check_consistency()
+        if hasattr(kernel, "confinement_violations"):
+            assert kernel.confinement_violations() == 0
+
+
+@settings(max_examples=100)
+@given(st.floats(0, 100), st.floats(0, 100), st.integers(512, 10**7))
+def test_resize_target_bounded(pu, pm, mem):
+    """Algorithm 1 never proposes a negative-beyond-total or explosive
+    target: the factor stays within the coefficient envelope."""
+    cfg = ResizeConfig()
+    target = target_unmovable_frames(pu, pm, mem, cfg)
+    max_factor = (pu / cfg.threshold_unmov) * cfg.c_ue + \
+        cfg.threshold_mov * cfg.c_me + 1
+    assert target <= mem * (1 + max_factor)
+    # Shrinking can aim below zero mathematically; the resizer clamps via
+    # its min-blocks floor, but the pure function stays finite.
+    assert isinstance(target, int)
+
+
+@settings(max_examples=100)
+@given(st.integers(0, 100), st.integers(0, LINES_PER_PAGE))
+def test_redirect_consistent_with_ptr(dst, ptr):
+    """For every Ptr, lines below it serve from dst, the rest from src."""
+    entry = MigrationEntry(src_ppn=1000, dst_ppn=2000 + dst, ptr=ptr)
+    for line in (0, ptr // 2, max(0, ptr - 1), ptr,
+                 LINES_PER_PAGE - 1):
+        if line >= LINES_PER_PAGE:
+            continue
+        served = entry.redirect(line)
+        if line < ptr:
+            assert served == entry.dst_ppn
+        else:
+            assert served == entry.src_ppn
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(0, 2**20), min_size=1, max_size=200),
+       st.integers(2, 16))
+def test_slice_hash_total_and_stable(lines, nslices):
+    """The slice hash maps every line to a valid slice, deterministically."""
+    for line in lines:
+        s1 = slice_of(line, nslices)
+        s2 = slice_of(line, nslices)
+        assert s1 == s2
+        assert 0 <= s1 < nslices
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(0, 5000), min_size=1, max_size=300))
+def test_tlb_never_exceeds_capacity(vpns):
+    """A set-associative TLB holds at most entries() translations."""
+    tlb = SetAssocTLB(64, 4)
+    for vpn in vpns:
+        if not tlb.lookup(vpn, SHIFT_4K):
+            tlb.fill(vpn, SHIFT_4K)
+    held = sum(len(s) for s in tlb._sets)
+    assert held <= 64
+    for entry_set in tlb._sets:
+        assert len(entry_set) <= 4
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(st.floats(0, 10_000), st.floats(1, 10_000)),
+                min_size=1, max_size=50))
+def test_psi_stays_in_range(events):
+    """Pressure is a percentage: always within [0, 100] regardless of the
+    stall/sample sequence."""
+    psi = PsiTracker(halflife_ticks=1000)
+    for stall, elapsed in events:
+        psi.record_stall(stall)
+        p = psi.sample(elapsed)
+        assert 0.0 <= p <= 100.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31))
+def test_contiguitas_regions_partition_memory(seed):
+    """The two region allocators always partition the pageblock space:
+    no overlap, no gap, boundary consistent with the layout."""
+    rng = random.Random(seed)
+    kernel = make_contiguitas(mem_mib=16)
+    live = []
+    for _ in range(60):
+        if live and rng.random() < 0.4:
+            kernel.free_pages(live.pop())
+        else:
+            try:
+                live.append(kernel.alloc_pages(
+                    0, source=rng.choice(list(AllocSource))))
+            except Exception:
+                break
+        assert kernel.movable.start_block == 0
+        assert kernel.movable.end_block == kernel.layout.boundary_block
+        assert kernel.unmovable.start_block == kernel.layout.boundary_block
+        assert kernel.unmovable.end_block == kernel.mem.npageblocks

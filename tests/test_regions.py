@@ -1,0 +1,68 @@
+"""RegionLayout geometry and boundary moves."""
+
+import pytest
+
+from repro.core import RegionLayout
+from repro.errors import ConfigurationError
+from repro.units import PAGEBLOCK_FRAMES
+
+
+def test_initial_fraction():
+    layout = RegionLayout.with_initial_unmovable(512, 1 / 16)
+    assert layout.unmovable_blocks == 32
+    assert layout.movable_blocks == 480
+
+
+def test_minimum_unmovable_on_tiny_machines():
+    layout = RegionLayout.with_initial_unmovable(8, 1 / 16)
+    assert layout.unmovable_blocks == 2  # floor
+
+
+def test_geometry_derivations():
+    layout = RegionLayout(total_blocks=16, boundary_block=12)
+    assert layout.unmovable_blocks == 4
+    assert layout.movable_frames == 12 * PAGEBLOCK_FRAMES
+    assert layout.boundary_pfn == 12 * PAGEBLOCK_FRAMES
+    assert layout.in_unmovable(layout.boundary_pfn)
+    assert not layout.in_unmovable(layout.boundary_pfn - 1)
+
+
+def test_expand_moves_boundary_down():
+    layout = RegionLayout(total_blocks=16, boundary_block=12)
+    layout.expand_unmovable()
+    assert layout.boundary_block == 11
+    assert layout.unmovable_blocks == 5
+
+
+def test_shrink_moves_boundary_up():
+    layout = RegionLayout(total_blocks=16, boundary_block=12)
+    layout.shrink_unmovable()
+    assert layout.boundary_block == 13
+
+
+def test_shrink_floor_enforced():
+    layout = RegionLayout(total_blocks=16, boundary_block=14,
+                          min_unmovable_blocks=2)
+    assert not layout.can_shrink_unmovable()
+    with pytest.raises(ConfigurationError):
+        layout.shrink_unmovable()
+
+
+def test_expand_ceiling_enforced():
+    layout = RegionLayout(total_blocks=16, boundary_block=9,
+                          max_unmovable_blocks=8)
+    assert not layout.can_expand_unmovable(2)
+    with pytest.raises(ConfigurationError):
+        layout.expand_unmovable(2)
+
+
+def test_default_ceiling_is_half_of_memory():
+    layout = RegionLayout(total_blocks=32, boundary_block=30)
+    assert layout.max_unmovable_blocks == 16
+
+
+def test_invalid_boundary_rejected():
+    with pytest.raises(ConfigurationError):
+        RegionLayout(total_blocks=16, boundary_block=16)
+    with pytest.raises(ConfigurationError):
+        RegionLayout(total_blocks=16, boundary_block=0)

@@ -1,0 +1,123 @@
+"""Algorithm 1: region resizing from per-region pressure."""
+
+import pytest
+
+from repro.core import ResizeConfig, RegionResizer, target_unmovable_frames
+from repro.core.pressure import Region, RegionPressure
+from repro.errors import ConfigurationError
+
+CFG = ResizeConfig()
+MEM = 100_000  # frames in the unmovable region
+
+
+def test_expands_when_unmovable_pressure_high():
+    target = target_unmovable_frames(
+        pressure_unmov=20.0, pressure_mov=0.0, mem_unmov_frames=MEM,
+        config=CFG)
+    assert target > MEM
+
+
+def test_shrinks_when_both_pressures_low():
+    target = target_unmovable_frames(
+        pressure_unmov=0.0, pressure_mov=0.0, mem_unmov_frames=MEM,
+        config=CFG)
+    assert target < MEM
+
+
+def test_shrinks_when_movable_pressure_high():
+    target = target_unmovable_frames(
+        pressure_unmov=0.0, pressure_mov=50.0, mem_unmov_frames=MEM,
+        config=CFG)
+    assert target < MEM
+
+
+def test_no_expand_when_both_pressures_high():
+    """Algorithm 1's guard: movable pressure at threshold blocks expansion
+    (taking movable memory would make things worse)."""
+    target = target_unmovable_frames(
+        pressure_unmov=50.0, pressure_mov=50.0, mem_unmov_frames=MEM,
+        config=CFG)
+    assert target <= MEM
+
+
+def test_expansion_scales_with_pressure():
+    lo = target_unmovable_frames(10.0, 0.0, MEM, CFG)
+    hi = target_unmovable_frames(40.0, 0.0, MEM, CFG)
+    assert hi > lo
+
+
+def test_shrink_gentler_when_unmovable_pressure_near_threshold():
+    near = target_unmovable_frames(4.9, 0.0, MEM, CFG)
+    far = target_unmovable_frames(0.0, 0.0, MEM, CFG)
+    assert near >= far
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        ResizeConfig(threshold_unmov=0)
+    with pytest.raises(ConfigurationError):
+        ResizeConfig(c_ue=-1)
+
+
+class TestRegionResizer:
+    def test_run_expands_in_steps(self):
+        resizer = RegionResizer(ResizeConfig(max_step_blocks=4))
+        calls = []
+        moved = resizer.run(
+            pressure_unmov=50.0, pressure_mov=0.0,
+            current_unmov_frames=10_000, frames_per_block=512,
+            expand_one=lambda: calls.append("e") or True,
+            shrink_one=lambda: calls.append("s") or True)
+        assert moved > 0
+        assert set(calls) == {"e"}
+        assert resizer.expands == moved
+
+    def test_run_shrinks_in_steps(self):
+        resizer = RegionResizer()
+        moved = resizer.run(
+            pressure_unmov=0.0, pressure_mov=0.0,
+            current_unmov_frames=100_000, frames_per_block=512,
+            expand_one=lambda: True, shrink_one=lambda: True)
+        assert moved < 0
+        assert resizer.shrinks == -moved
+
+    def test_blocked_expand_stops_pass(self):
+        resizer = RegionResizer()
+        moved = resizer.run(
+            pressure_unmov=50.0, pressure_mov=0.0,
+            current_unmov_frames=100_000, frames_per_block=512,
+            expand_one=lambda: False, shrink_one=lambda: True)
+        assert moved == 0
+        assert resizer.blocked_expands == 1
+
+    def test_step_cap_limits_movement(self):
+        resizer = RegionResizer(ResizeConfig(max_step_blocks=2))
+        moved = resizer.run(
+            pressure_unmov=100.0, pressure_mov=0.0,
+            current_unmov_frames=1_000_000, frames_per_block=512,
+            expand_one=lambda: True, shrink_one=lambda: True)
+        assert moved <= 2
+
+    def test_small_delta_no_moves(self):
+        resizer = RegionResizer()
+        moved = resizer.run(
+            pressure_unmov=0.0, pressure_mov=0.0,
+            current_unmov_frames=600, frames_per_block=512,
+            expand_one=lambda: True, shrink_one=lambda: True)
+        # Target delta below one pageblock: nothing to do.
+        assert moved == 0
+
+
+class TestRegionPressure:
+    def test_independent_tracking(self):
+        rp = RegionPressure(halflife_ticks=100)
+        rp.record_stall(Region.UNMOVABLE, 500)
+        pressures = rp.sample(1000)
+        assert pressures[Region.UNMOVABLE] > 0
+        assert pressures[Region.MOVABLE] == 0
+        assert rp.unmovable > rp.movable
+
+    def test_sample_returns_both(self):
+        rp = RegionPressure()
+        out = rp.sample(10)
+        assert set(out) == {Region.MOVABLE, Region.UNMOVABLE}

@@ -1,0 +1,89 @@
+"""Timeline recorder and the command-line interface."""
+
+import pytest
+
+from repro.analysis import TimelineRecorder, watch_kernel
+from repro.cli import build_parser, main
+from repro.errors import ConfigurationError
+
+from conftest import make_contiguitas
+
+
+class TestTimelineRecorder:
+    def test_sample_and_series(self):
+        counter = {"v": 0}
+
+        def metric():
+            counter["v"] += 1
+            return counter["v"]
+
+        rec = TimelineRecorder(metrics={"m": metric})
+        rec.sample(0)
+        rec.sample(10)
+        assert rec.series("m") == [1.0, 2.0]
+        assert rec.steps() == [0, 10]
+        assert rec.final("m") == 2.0
+
+    def test_unknown_metric_rejected(self):
+        rec = TimelineRecorder(metrics={"m": lambda: 1})
+        with pytest.raises(ConfigurationError):
+            rec.series("nope")
+
+    def test_empty_metrics_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimelineRecorder(metrics={})
+
+    def test_final_requires_samples(self):
+        rec = TimelineRecorder(metrics={"m": lambda: 1})
+        with pytest.raises(ConfigurationError):
+            rec.final("m")
+
+    def test_csv_export(self):
+        rec = TimelineRecorder(metrics={"a": lambda: 1, "b": lambda: 2.5})
+        rec.sample(0)
+        csv = rec.to_csv()
+        assert csv.splitlines() == ["step,a,b", "0,1,2.5"]
+
+    def test_watch_kernel_includes_region_metric(self):
+        k = make_contiguitas(mem_mib=16)
+        rec = watch_kernel(k)
+        values = rec.sample(0)
+        assert "unmovable_region_blocks" in values
+        assert values["free_frames"] == k.free_frames()
+
+
+class TestCli:
+    def test_parser_has_all_commands(self):
+        parser = build_parser()
+        # argparse stores subparser choices on the last action.
+        sub = parser._subparsers._group_actions[0]
+        assert set(sub.choices) == {"fig13", "walk", "steady", "fleet",
+                                    "hwcost", "interference", "autotune"}
+
+    def test_interference_runs(self, capsys):
+        main(["interference", "--rate", "500"])
+        out = capsys.readouterr().out
+        assert "noncacheable" in out
+
+    def test_fig13_runs(self, capsys):
+        main(["fig13"])
+        out = capsys.readouterr().out
+        assert "Contiguitas" in out
+        assert "Victim TLBs" in out
+
+    def test_hwcost_runs(self, capsys):
+        main(["hwcost"])
+        out = capsys.readouterr().out
+        assert "mm^2" in out
+
+    def test_walk_runs(self, capsys):
+        main(["walk", "--service", "CacheB", "--instructions", "20000"])
+        out = capsys.readouterr().out
+        assert "Data walk" in out
+
+    def test_steady_runs(self, capsys):
+        main(["steady", "--service", "CacheB", "--mem-mib", "64",
+              "--steps", "50"])
+        out = capsys.readouterr().out
+        assert "unmovable region" in out
+        assert "confinement violations" in out

@@ -1,0 +1,130 @@
+"""Allocation-trace record and replay."""
+
+import io
+import random
+
+import pytest
+
+from repro.analysis import unmovable_block_fraction
+from repro.errors import ConfigurationError, ReproError
+from repro.mm import AllocSource
+from repro.units import PAGEBLOCK_FRAMES
+from repro.workloads.tracelog import (
+    TraceEvent,
+    TraceRecorder,
+    load_trace,
+    replay,
+)
+
+from conftest import make_contiguitas, make_linux
+
+
+def record_churn(steps=800, seed=5, mem_mib=32, free_probability=0.45):
+    """Record a mixed churn trace on a Linux kernel."""
+    rng = random.Random(seed)
+    recorder = TraceRecorder(make_linux(mem_mib))
+    live = []
+    for step in range(steps):
+        if live and rng.random() < free_probability:
+            handle = live.pop(rng.randrange(len(live)))
+            recorder.free_pages(handle)
+        else:
+            roll = rng.random()
+            if roll < 0.2:
+                handle = recorder.alloc_pages(
+                    0, source=AllocSource.NETWORKING)
+            elif roll < 0.25:
+                handle = recorder.alloc_pages(0)
+                recorder.pin_pages(handle)
+                recorder.unpin_pages(handle)
+            else:
+                handle = recorder.alloc_pages(0, reclaimable=(roll > 0.8))
+            live.append(handle)
+        if step % 100 == 0:
+            recorder.advance(1000)
+    return recorder
+
+
+class TestRecording:
+    def test_events_captured(self):
+        recorder = record_churn(steps=100)
+        ops = {e.op for e in recorder.events}
+        assert {"alloc", "free", "advance"} <= ops
+        assert len(recorder.events) >= 100
+
+    def test_delegation_preserves_kernel_behaviour(self):
+        recorder = record_churn(steps=100)
+        recorder.kernel.check_consistency()
+        assert recorder.free_frames() == recorder.kernel.free_frames()
+
+    def test_foreign_handle_rejected(self):
+        recorder = TraceRecorder(make_linux())
+        foreign = recorder.kernel.alloc_pages(0)  # bypassed the recorder
+        with pytest.raises(ReproError):
+            recorder.free_pages(foreign)
+
+
+class TestSerialisation:
+    def test_save_load_roundtrip(self):
+        recorder = record_churn(steps=150)
+        buf = io.StringIO()
+        n = recorder.save(buf)
+        buf.seek(0)
+        events = load_trace(buf)
+        assert len(events) == n
+        assert [e.op for e in events] == \
+            [e.op for e in recorder.events]
+
+    def test_version_check(self):
+        buf = io.StringIO('{"version": 99, "events": 0}\n')
+        with pytest.raises(ConfigurationError):
+            load_trace(buf)
+
+
+class TestReplay:
+    def test_replay_reproduces_state_on_same_kernel_type(self):
+        recorder = record_churn(steps=600, seed=9)
+        original = recorder.kernel
+        target = make_linux(32)
+        result = replay(recorder.events, target)
+        assert result.alloc_failures == 0
+        # Same kernel type + same trace => identical physical outcome.
+        assert target.free_frames() == original.free_frames()
+        assert (target.mem.unmovable_mask()
+                == original.mem.unmovable_mask()).all()
+        target.check_consistency()
+
+    def test_replay_across_kernel_types(self):
+        """The scientific use: one recorded trace, two kernels — the
+        Contiguitas replay confines what the Linux original scattered."""
+        recorder = record_churn(steps=1200, seed=11)
+        cont = make_contiguitas(32)
+        result = replay(recorder.events, cont)
+        assert result.alloc_failures == 0
+        assert cont.confinement_violations() == 0
+        linux_scatter = unmovable_block_fraction(
+            recorder.kernel.mem, PAGEBLOCK_FRAMES)
+        cont_scatter = unmovable_block_fraction(cont.mem, PAGEBLOCK_FRAMES)
+        assert cont_scatter <= linux_scatter
+        cont.check_consistency()
+
+    def test_replay_tolerates_oom_on_smaller_machine(self):
+        recorder = record_churn(steps=3000, seed=3, mem_mib=32,
+                                free_probability=0.3)
+        tiny = make_linux(2)
+        result = replay(recorder.events, tiny)
+        assert result.alloc_failures > 0
+        tiny.check_consistency()
+
+    def test_replay_strict_mode_raises(self):
+        from repro.errors import OutOfMemoryError
+
+        recorder = record_churn(steps=3000, seed=3, mem_mib=32,
+                                free_probability=0.3)
+        with pytest.raises(OutOfMemoryError):
+            replay(recorder.events, make_linux(2), tolerate_oom=False)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replay([TraceEvent(op="alloc", obj=0),
+                    TraceEvent(op="explode", obj=0)], make_linux(8))

@@ -1,0 +1,67 @@
+"""VmStat counters and small odds and ends."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ContiguityError,
+    HardwareProtocolError,
+    MigrationError,
+    OutOfMemoryError,
+    ReproError,
+)
+from repro.mm import VmStat
+from repro.mm import vmstat as ev
+
+
+class TestVmStat:
+    def test_inc_and_get(self):
+        stat = VmStat()
+        stat.inc("x")
+        stat.inc("x", 4)
+        assert stat["x"] == 5
+        assert stat["missing"] == 0
+
+    def test_contains_and_iter(self):
+        stat = VmStat()
+        stat.inc("a")
+        assert "a" in stat
+        assert "b" not in stat
+        assert list(stat) == ["a"]
+
+    def test_items_sorted(self):
+        stat = VmStat()
+        stat.inc("zeta")
+        stat.inc("alpha")
+        assert [k for k, _ in stat.items()] == ["alpha", "zeta"]
+
+    def test_snapshot_delta(self):
+        stat = VmStat()
+        stat.inc("a", 2)
+        snap = stat.snapshot()
+        stat.inc("a")
+        stat.inc("b", 3)
+        delta = stat.delta(snap)
+        assert delta == {"a": 1, "b": 3}
+
+    def test_reset(self):
+        stat = VmStat()
+        stat.inc("a")
+        stat.reset()
+        assert stat["a"] == 0
+
+    def test_event_constants_are_distinct(self):
+        names = [v for k, v in vars(ev).items()
+                 if k.isupper() and isinstance(v, str)]
+        assert len(names) == len(set(names))
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        OutOfMemoryError, ContiguityError, MigrationError,
+        ConfigurationError, HardwareProtocolError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
