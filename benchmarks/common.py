@@ -42,8 +42,10 @@ SCALED_1G_FRAMES = (STEADY_MEM // 64) // 4096
 
 #: Fleet-survey parameters (paper: tens of thousands of 64 GiB servers;
 #: we sample fewer, smaller machines with the same diversity).  1 GiB
-#: machines keep the paper's 1 GiB scan granularity meaningful.
-FLEET_SERVERS = 16
+#: machines keep the paper's 1 GiB scan granularity meaningful.  The
+#: sample size rode up with the parallel fleet engine + allocator fast
+#: paths: 24 servers now cost less wall-clock than 16 did before.
+FLEET_SERVERS = 24
 FLEET_MEM = MiB(512)
 
 

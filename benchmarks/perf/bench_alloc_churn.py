@@ -1,0 +1,68 @@
+"""Alloc/free churn: the buddy allocator's steady-state hot path.
+
+A mixed-order allocation stream against a bounded live set, hitting
+``_rmqueue`` / ``free_block`` / ``_insert_free`` / ``_remove_free`` the
+way a long workload run does.  This is the single most
+throughput-critical loop in the simulator: every workload step funnels
+through it thousands of times.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.mm.buddy import BuddyAllocator
+from repro.mm.page import MigrateType
+from repro.mm.pageblock import PageblockTable
+from repro.mm.physmem import PhysicalMemory
+from repro.mm.vmstat import VmStat
+from repro.units import MiB
+
+from harness import BenchResult, time_best
+
+#: Order mix mirroring workload traffic (mostly order-0, some 1/2).
+ORDER_MIX = (0, 0, 0, 0, 1, 1, 2)
+
+
+def _make_buddy(mem_bytes: int) -> BuddyAllocator:
+    mem = PhysicalMemory(mem_bytes)
+    pageblocks = PageblockTable(mem, initial=MigrateType.MOVABLE)
+    buddy = BuddyAllocator(mem, pageblocks, VmStat(), prefer="lifo")
+    buddy.seed_free()
+    return buddy
+
+
+def _churn(buddy: BuddyAllocator, iters: int, seed: int = 7) -> int:
+    rng = random.Random(seed)
+    live: list[int] = []
+    cap = buddy.nr_frames // 4
+    ops = 0
+    for _ in range(iters):
+        order = ORDER_MIX[rng.randrange(len(ORDER_MIX))]
+        pfn = buddy.alloc(order, MigrateType.MOVABLE)
+        ops += 1
+        if pfn is not None:
+            live.append(pfn)
+        while len(live) > cap:
+            victim = live.pop(rng.randrange(len(live)))
+            buddy.free(victim)
+            ops += 1
+    for pfn in live:
+        buddy.free(pfn)
+        ops += 1
+    return ops
+
+
+def run(quick: bool = False) -> list[BenchResult]:
+    iters = 5_000 if quick else 60_000
+    mem_bytes = MiB(16 if quick else 64)
+
+    ops_holder = []
+
+    def once():
+        buddy = _make_buddy(mem_bytes)
+        ops_holder.append(_churn(buddy, iters))
+
+    secs = time_best(once, repeats=1 if quick else 3)
+    return [BenchResult("alloc_free_churn", ops_holder[-1], secs,
+                        unit="alloc+free ops")]

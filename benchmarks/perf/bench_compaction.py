@@ -1,0 +1,72 @@
+"""Compaction sweep: scanner + free-list capture throughput.
+
+Builds a checkerboard-fragmented machine (allocate everything order-0,
+free every other page), then times (a) a full compaction run — which
+stresses ``largest_free_order``, ``free_block`` merging, and the free
+scanner's peeks — and (b) a ``move_freepages_block`` sweep across every
+pageblock, the vectorised head-scan path taken on every pageblock steal.
+"""
+
+from __future__ import annotations
+
+from repro.mm.buddy import BuddyAllocator
+from repro.mm.kernel import KernelConfig, LinuxKernel
+from repro.mm.page import MigrateType
+from repro.units import MiB
+
+from harness import BenchResult, time_best
+
+
+def _fragment(kernel: LinuxKernel) -> None:
+    handles = []
+    try:
+        while True:
+            handles.append(kernel.alloc_pages(0))
+    except Exception:
+        pass
+    for i, h in enumerate(handles):
+        if i % 2 == 0 and not h.freed:
+            kernel.free_pages(h)
+
+
+def _compact_once(mem_bytes: int) -> int:
+    kernel = LinuxKernel(KernelConfig(mem_bytes=mem_bytes,
+                                      compaction_enabled=True))
+    _fragment(kernel)
+    result = kernel.compactor.compact(kernel.buddy, kernel.handles)
+    return result.pages_migrated + result.blocks_scanned
+
+
+def _move_sweep(mem_bytes: int, rounds: int) -> int:
+    kernel = LinuxKernel(KernelConfig(mem_bytes=mem_bytes))
+    _fragment(kernel)
+    buddy: BuddyAllocator = kernel.buddy
+    moved = 0
+    for r in range(rounds):
+        mt = MigrateType.UNMOVABLE if r % 2 else MigrateType.MOVABLE
+        for block in range(buddy.start_block, buddy.end_block):
+            moved += buddy.move_freepages_block(block, mt)
+    return moved
+
+
+def run(quick: bool = False) -> list[BenchResult]:
+    mem_bytes = MiB(8 if quick else 32)
+    rounds = 2 if quick else 6
+    repeats = 1 if quick else 3
+
+    compact_ops, sweep_ops = [], []
+
+    def compact_once():
+        compact_ops.append(_compact_once(mem_bytes))
+
+    def sweep_once():
+        sweep_ops.append(_move_sweep(mem_bytes, rounds))
+
+    compact_secs = time_best(compact_once, repeats=repeats)
+    sweep_secs = time_best(sweep_once, repeats=repeats)
+    return [
+        BenchResult("compaction_sweep", compact_ops[-1], compact_secs,
+                    unit="pages migrated + blocks scanned"),
+        BenchResult("move_freepages_sweep", sweep_ops[-1], sweep_secs,
+                    unit="frames moved"),
+    ]

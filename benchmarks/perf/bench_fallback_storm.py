@@ -1,0 +1,58 @@
+"""Fallback storm: unmovable traffic invading movable pageblocks.
+
+Every pageblock starts MOVABLE and the stream is UNMOVABLE/RECLAIMABLE,
+so (after each type's own lists drain) every allocation walks
+``_alloc_fallback`` — the path that iterates (order, fallback-type)
+pairs and steals pageblocks.  With per-(order, migratetype) occupancy
+bitmaps this loop skips empty lists without touching them.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.mm.buddy import BuddyAllocator
+from repro.mm.page import MigrateType
+from repro.mm.pageblock import PageblockTable
+from repro.mm.physmem import PhysicalMemory
+from repro.mm.vmstat import VmStat
+from repro.units import MiB
+
+from harness import BenchResult, time_best
+
+
+def _storm(mem_bytes: int, iters: int, seed: int = 11) -> int:
+    mem = PhysicalMemory(mem_bytes)
+    buddy = BuddyAllocator(mem, PageblockTable(mem), VmStat(),
+                           prefer="lifo")
+    buddy.seed_free()
+    rng = random.Random(seed)
+    live: list[int] = []
+    cap = buddy.nr_frames // 3
+    ops = 0
+    for i in range(iters):
+        mt = (MigrateType.UNMOVABLE if i % 3 else MigrateType.RECLAIMABLE)
+        pfn = buddy.alloc(rng.choice((0, 0, 0, 1)), mt)
+        ops += 1
+        if pfn is not None:
+            live.append(pfn)
+        while len(live) > cap:
+            buddy.free(live.pop(rng.randrange(len(live))))
+            ops += 1
+    for pfn in live:
+        buddy.free(pfn)
+        ops += 1
+    return ops
+
+
+def run(quick: bool = False) -> list[BenchResult]:
+    iters = 4_000 if quick else 40_000
+    mem_bytes = MiB(16 if quick else 64)
+    ops_holder = []
+
+    def once():
+        ops_holder.append(_storm(mem_bytes, iters))
+
+    secs = time_best(once, repeats=1 if quick else 3)
+    return [BenchResult("fallback_storm", ops_holder[-1], secs,
+                        unit="alloc+free ops")]

@@ -1,0 +1,115 @@
+"""Timing and reporting infrastructure for the perf microbenchmarks.
+
+Each microbench module exposes ``run(quick: bool) -> list[BenchResult]``.
+The runner (:mod:`run_perf`) collects results into machine-readable
+``BENCH_allocator.json`` / ``BENCH_fleet.json`` at the repo root so that
+successive PRs accumulate a perf trajectory: every run is compared
+against ``benchmarks/perf/baseline.json`` (recorded with
+``--write-baseline``) and the speedup is stored alongside the raw
+numbers.
+
+Timing protocol: each bench runs once to warm caches, then ``repeats``
+timed runs; the *best* wall-clock is reported (the standard microbench
+convention — noise only ever adds time).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
+
+PERF_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(PERF_DIR))
+BASELINE_PATH = os.path.join(PERF_DIR, "baseline.json")
+
+
+@dataclass
+class BenchResult:
+    """One microbench measurement."""
+
+    name: str
+    #: Work units completed (allocations, frames, servers, ...).
+    ops: int
+    #: Best wall-clock seconds over the timed repeats.
+    seconds: float
+    #: What one "op" is, for human readers of the JSON.
+    unit: str = "ops"
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / self.seconds if self.seconds > 0 else float("inf")
+
+
+def time_best(fn, repeats: int = 3) -> float:
+    """Best wall-clock over *repeats* calls of *fn* (plus one warm-up)."""
+    fn()
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def load_baseline() -> dict:
+    """The recorded pre-optimisation numbers, or {} when none exist."""
+    if not os.path.exists(BASELINE_PATH):
+        return {}
+    with open(BASELINE_PATH) as fh:
+        return json.load(fh)
+
+
+def results_to_dict(results: list[BenchResult],
+                    baseline: dict | None = None) -> dict:
+    """Render results, attaching speedup-vs-baseline where available."""
+    out = {}
+    for r in results:
+        entry = {
+            "ops": r.ops,
+            "seconds": round(r.seconds, 6),
+            "ops_per_sec": round(r.ops_per_sec, 2),
+            "unit": r.unit,
+        }
+        base = (baseline or {}).get(r.name)
+        if base and base.get("ops_per_sec"):
+            entry["baseline_ops_per_sec"] = base["ops_per_sec"]
+            entry["speedup_vs_baseline"] = round(
+                r.ops_per_sec / base["ops_per_sec"], 3)
+        out[r.name] = entry
+    return out
+
+
+def write_bench_json(suite: str, results: list[BenchResult],
+                     quick: bool, extra: dict | None = None) -> str:
+    """Write ``BENCH_<suite>.json`` at the repo root; returns its path."""
+    baseline = load_baseline().get("benches", {})
+    payload = {
+        "suite": suite,
+        "quick": quick,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "benches": results_to_dict(results, baseline),
+    }
+    if extra:
+        payload.update(extra)
+    path = os.path.join(REPO_ROOT, f"BENCH_{suite}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def write_baseline(all_results: list[BenchResult]) -> str:
+    """Record the current numbers as the comparison baseline."""
+    payload = {
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "benches": results_to_dict(all_results),
+    }
+    with open(BASELINE_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return BASELINE_PATH

@@ -1,0 +1,74 @@
+"""Perf microbenchmark runner.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py [--quick]
+        [--suite allocator|fleet|all] [--write-baseline]
+
+Writes ``BENCH_allocator.json`` and ``BENCH_fleet.json`` at the repo
+root, each comparing against ``benchmarks/perf/baseline.json`` (the
+numbers recorded before the fast-path work; refresh deliberately with
+``--write-baseline``).  ``--quick`` shrinks problem sizes to a smoke
+test for CI; quick numbers are written with ``"quick": true`` and
+should not be compared against full-size baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+_PERF_DIR = os.path.dirname(os.path.abspath(__file__))
+_REPO_ROOT = os.path.dirname(os.path.dirname(_PERF_DIR))
+sys.path.insert(0, _PERF_DIR)
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from harness import write_baseline, write_bench_json  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes; smoke test for CI")
+    parser.add_argument("--suite", choices=("allocator", "fleet", "all"),
+                        default="all")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record these numbers as the new baseline")
+    args = parser.parse_args(argv)
+
+    import bench_alloc_churn
+    import bench_compaction
+    import bench_fallback_storm
+    import bench_fleet
+
+    all_results = []
+    if args.suite in ("allocator", "all"):
+        alloc_results = []
+        for mod in (bench_alloc_churn, bench_fallback_storm,
+                    bench_compaction):
+            alloc_results.extend(mod.run(quick=args.quick))
+        path = write_bench_json("allocator", alloc_results, args.quick)
+        _report(alloc_results, path)
+        all_results.extend(alloc_results)
+
+    if args.suite in ("fleet", "all"):
+        fleet_results = bench_fleet.run(quick=args.quick)
+        path = write_bench_json("fleet", fleet_results, args.quick)
+        _report(fleet_results, path)
+        all_results.extend(fleet_results)
+
+    if args.write_baseline:
+        print(f"baseline -> {write_baseline(all_results)}")
+    return 0
+
+
+def _report(results, path: str) -> None:
+    for r in results:
+        print(f"{r.name:28s} {r.ops:>10d} {r.unit:<28s} "
+              f"{r.seconds:8.3f}s  {r.ops_per_sec:>12.1f} /s")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""Parallel fleet execution: fan per-server simulations across cores.
+
+The fleet survey (§2.4) runs N *independent* simulated servers — an
+embarrassingly parallel job.  :func:`run_fleet` dispatches the servers to
+a :class:`~concurrent.futures.ProcessPoolExecutor` in index order and
+returns the scans in index order, so the result is bit-identical to the
+serial loop it replaces:
+
+* each server is seeded ``base_seed + index`` regardless of which worker
+  runs it or in which order workers finish;
+* servers share no mutable state (each builds its own kernel), so the
+  only thing crossing the process boundary is the (config, seed) payload
+  in and the :class:`~repro.fleet.server.ServerScan` out — both plain
+  picklable dataclasses;
+* ``executor.map`` preserves submission order on the way back.
+
+Chunked dispatch (several servers per task) amortises process-pool IPC;
+with the default ~4 chunks per worker the tail-straggler cost stays low
+while per-task overhead is negligible against multi-second servers.
+
+Worker count resolution order: explicit ``workers=`` argument, the
+``REPRO_FLEET_WORKERS`` environment variable, then ``os.cpu_count()``.
+Anything that resolves to one worker (including single-core machines and
+``n_servers == 1``) takes the serial path with no pool at all — the
+fallback keeps tests and constrained CI deterministic and fork-free.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from .server import ServerConfig, ServerScan, SimulatedServer
+
+#: Environment override for the default worker count (0 or 1 = serial).
+WORKERS_ENV = "REPRO_FLEET_WORKERS"
+
+#: Target number of map chunks per worker when chunk_size is unset.
+_CHUNKS_PER_WORKER = 4
+
+
+def scan_one(payload: tuple[ServerConfig | None, int]) -> ServerScan:
+    """Run a single simulated server; module-level so it pickles."""
+    config, seed = payload
+    return SimulatedServer(config, seed=seed).run()
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve an effective worker count (>= 1).
+
+    ``None`` falls back to :data:`WORKERS_ENV`, then ``os.cpu_count()``.
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if env:
+            workers = int(env)
+        else:
+            workers = os.cpu_count() or 1
+    return max(1, workers)
+
+
+def run_fleet(n_servers: int,
+              config: ServerConfig | None = None,
+              base_seed: int = 0,
+              workers: int | None = None,
+              chunk_size: int | None = None) -> list[ServerScan]:
+    """Run *n_servers* independent servers, parallel when possible.
+
+    Returns scans ordered by server index.  Identical output to
+    ``[SimulatedServer(config, seed=base_seed + i).run() for i in ...]``
+    for every worker count, including 1 (the serial fallback).
+    """
+    payloads = [(config, base_seed + i) for i in range(n_servers)]
+    nworkers = min(resolve_workers(workers), max(1, n_servers))
+    if nworkers <= 1:
+        return [scan_one(p) for p in payloads]
+    if chunk_size is None:
+        chunk_size = max(1, n_servers // (nworkers * _CHUNKS_PER_WORKER))
+    with ProcessPoolExecutor(max_workers=nworkers) as pool:
+        return list(pool.map(scan_one, payloads, chunksize=chunk_size))

@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..mm.page import AllocSource
-from .server import ServerConfig, ServerScan, SimulatedServer
+from .engine import run_fleet
+from .server import ServerConfig, ServerScan
 from .stats import median, pearson
 
 
@@ -32,7 +33,14 @@ class FleetSample:
 
     def fraction_without_any(self, granularity: str = "2MB") -> float:
         """Paper §2.4: the fraction of servers with *zero* free blocks at
-        a granularity (23 % for 2 MiB at Meta)."""
+        a granularity (23 % for 2 MiB at Meta).
+
+        An empty fleet has no servers lacking blocks, so the fraction is
+        0.0 rather than a ZeroDivisionError (mirrors
+        :meth:`source_breakdown`'s empty-fleet behaviour).
+        """
+        if not self.scans:
+            return 0.0
         zeroes = sum(1 for s in self.scans
                      if s.contiguity[granularity] == 0.0)
         return zeroes / len(self.scans)
@@ -62,10 +70,14 @@ class FleetSample:
 
 def sample_fleet(n_servers: int = 50,
                  config: ServerConfig | None = None,
-                 base_seed: int = 0) -> FleetSample:
-    """Run *n_servers* independent simulated servers and scan each."""
-    scans = [
-        SimulatedServer(config, seed=base_seed + i).run()
-        for i in range(n_servers)
-    ]
+                 base_seed: int = 0,
+                 workers: int | None = None) -> FleetSample:
+    """Run *n_servers* independent simulated servers and scan each.
+
+    Servers run in parallel across processes when cores allow (see
+    :mod:`repro.fleet.engine`); *workers* forces a count (1 = serial).
+    Results are bit-identical to the serial path for any worker count.
+    """
+    scans = run_fleet(n_servers, config=config, base_seed=base_seed,
+                      workers=workers)
     return FleetSample(scans=scans)

@@ -19,6 +19,8 @@ pageblocks between them when the region boundary shifts.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from ..units import MAX_ORDER, PAGEBLOCK_FRAMES
 from . import vmstat as ev
@@ -74,6 +76,16 @@ class BuddyAllocator:
         self.free_lists: list[dict[MigrateType, FreeList]] = [
             {mt: FreeList() for mt in MigrateType} for _ in range(MAX_ORDER + 1)
         ]
+        #: Per-migratetype occupancy bitmaps: bit *o* of ``_occ[int(mt)]``
+        #: is set when ``free_lists[o][mt]`` *may* be non-empty.  The
+        #: bitmap is conservative — bits are set eagerly on insert and
+        #: cleared lazily when a lookup observes an empty list — so
+        #: subclasses and external capture paths that pop from the
+        #: :class:`FreeList` objects directly can never make it unsound,
+        #: only momentarily loose.  ``_rmqueue`` / ``_alloc_fallback`` /
+        #: ``largest_free_order`` use it to skip empty (order, type)
+        #: pairs without touching the dicts at all.
+        self._occ: list[int] = [0] * len(MigrateType)
         #: Free frames currently held on this allocator's lists.
         self.nr_free = 0
 
@@ -209,15 +221,17 @@ class BuddyAllocator:
     def free_block(self, pfn: int, order: int) -> None:
         """Insert an already-cleared frame range into the free lists,
         merging with buddies (low-level path shared with migration)."""
-        mem = self.mem
+        free_order = self.mem.free_order_mv
+        start_pfn, end_pfn = self.start_pfn, self.end_pfn
         while order < MAX_ORDER:
             buddy = pfn ^ (1 << order)
-            if not self.contains(buddy) or mem.free_order[buddy] != order:
+            if (buddy < start_pfn or buddy >= end_pfn
+                    or free_order[buddy] != order):
                 break
             self._remove_free(buddy)
             pfn = min(pfn, buddy)
             order += 1
-        self._insert_free(pfn, order, self.pageblocks.get(pfn))
+        self._insert_free(pfn, order, self.pageblocks.get_int(pfn))
 
     # ------------------------------------------------------------------
     # Targeted free-block capture (compaction / contig ranges / resizing)
@@ -226,7 +240,7 @@ class BuddyAllocator:
     def take_free_block(self, pfn: int) -> int:
         """Remove the specific free block headed at *pfn* from the lists,
         returning its order.  Used by the compaction free scanner."""
-        order = int(self.mem.free_order[pfn])
+        order = self.mem.free_order_mv[pfn]
         if order < 0:
             raise ConfigurationError(f"pfn {pfn} is not a free-block head")
         self._remove_free(pfn)
@@ -242,10 +256,8 @@ class BuddyAllocator:
 
     def free_heads_in(self, start_pfn: int, end_pfn: int) -> list[int]:
         """Head PFNs of free buddy blocks inside ``[start_pfn, end_pfn)``."""
-        import numpy as np
-
         sl = self.mem.free_order[start_pfn:end_pfn]
-        return [int(i) + start_pfn for i in np.flatnonzero(sl >= 0)]
+        return (np.flatnonzero(sl >= 0) + start_pfn).tolist()
 
     def move_freepages_block(self, block: int, new_mt: MigrateType) -> int:
         """Move every free block inside pageblock *block* to *new_mt*'s
@@ -253,9 +265,14 @@ class BuddyAllocator:
         Linux's ``move_freepages_block``, invoked when a fallback steals a
         whole pageblock."""
         start, end = self.pageblocks.block_range(block)
+        # One vectorised scan yields both heads and their orders; the
+        # orders must be snapshotted before _remove_free clears them.
+        sl = self.mem.free_order[start:end]
+        idx = np.flatnonzero(sl >= 0)
+        orders = sl[idx].tolist()
         moved = 0
-        for head in self.free_heads_in(start, end):
-            order = int(self.mem.free_order[head])
+        for off, order in zip(idx.tolist(), orders):
+            head = start + off
             self._remove_free(head)
             self._insert_free(head, order, new_mt)
             moved += 1 << order
@@ -266,24 +283,49 @@ class BuddyAllocator:
     # Internals
     # ------------------------------------------------------------------
 
+    #: Direction -> unbound FreeList pop method (dispatch table beats an
+    #: if-chain on the hot path).
+    _POP = {
+        "low": FreeList.pop_lowest,
+        "high": FreeList.pop_highest,
+        "fifo": FreeList.pop_fifo,
+        "lifo": FreeList.pop_lifo,
+    }
+
     @staticmethod
     def _pop(flist: FreeList, direction: str) -> int:
-        if direction == "low":
-            return flist.pop_lowest()
-        if direction == "high":
-            return flist.pop_highest()
-        if direction == "fifo":
-            return flist.pop_fifo()
-        return flist.pop_lifo()
+        return BuddyAllocator._POP[direction](flist)
 
     def _rmqueue(self, order: int, mt: MigrateType, direction: str) -> int | None:
         """Pop the best free block of *mt* at order >= *order* and split."""
-        for o in range(order, MAX_ORDER + 1):
-            flist = self.free_lists[o][mt]
+        imt = int(mt)
+        occ = self._occ
+        # Exact-order fast path: the overwhelmingly common case is a hit
+        # on the requested order's own list, with no split needed.
+        if occ[imt] >> order & 1:
+            flist = self.free_lists[order][imt]
+            if flist:
+                pfn = self._pop(flist, direction)
+                if not flist:
+                    occ[imt] &= ~(1 << order)
+                self.mem.free_order_mv[pfn] = -1
+                self.nr_free -= 1 << order
+                return pfn
+            occ[imt] &= ~(1 << order)  # stale bit: heal it
+        # Candidate orders > order, lowest first — same visit sequence
+        # as a full range scan, minus the empty lists.
+        bits = occ[imt] >> (order + 1) << (order + 1)
+        while bits:
+            o = (bits & -bits).bit_length() - 1
+            bits &= bits - 1
+            flist = self.free_lists[o][imt]
             if not flist:
+                occ[imt] &= ~(1 << o)
                 continue
             pfn = self._pop(flist, direction)
-            self.mem.free_order[pfn] = -1
+            if not flist:
+                occ[imt] &= ~(1 << o)
+            self.mem.free_order_mv[pfn] = -1
             self.nr_free -= 1 << o
             return self._expand(pfn, o, order, mt, direction)
         return None
@@ -291,13 +333,26 @@ class BuddyAllocator:
     def _alloc_fallback(self, order: int, mt: MigrateType, direction: str) -> int | None:
         """Steal from another migrate type, largest blocks first (Linux's
         ``__rmqueue_fallback``), optionally claiming the whole pageblock."""
-        for o in range(MAX_ORDER, order - 1, -1):
-            for fb in fallback_types(mt):
+        fbs = fallback_types(mt)
+        occ = self._occ
+        combined = 0
+        for fb in fbs:
+            combined |= occ[int(fb)]
+        # Candidate orders <= MAX_ORDER, highest first, skipping orders
+        # where every fallback list is empty.
+        bits = combined >> order << order
+        while bits:
+            o = bits.bit_length() - 1
+            bits &= ~(1 << o)
+            for fb in fbs:
                 flist = self.free_lists[o][fb]
                 if not flist:
+                    occ[int(fb)] &= ~(1 << o)
                     continue
                 pfn = self._pop(flist, direction)
-                self.mem.free_order[pfn] = -1
+                if not flist:
+                    occ[int(fb)] &= ~(1 << o)
+                self.mem.free_order_mv[pfn] = -1
                 self.nr_free -= 1 << o
                 self.stat.inc(ev.ALLOC_FALLBACK)
                 if should_steal_pageblock(mt, o):
@@ -337,18 +392,27 @@ class BuddyAllocator:
                 pfn += 1 << o
         return pfn
 
-    def _insert_free(self, pfn: int, order: int, mt: MigrateType) -> None:
-        self.free_lists[order][mt].add(pfn)
-        self.mem.free_order[pfn] = order
-        self.mem.free_mt[pfn] = int(mt)
+    def _insert_free(self, pfn: int, order: int, mt: MigrateType | int) -> None:
+        # ``mt`` may be a plain int on hot paths; IntEnum keys hash and
+        # compare equal to their values, so the dict lookup is identical.
+        imt = int(mt)
+        self.free_lists[order][imt].add(pfn)
+        self._occ[imt] |= 1 << order
+        mem = self.mem
+        mem.free_order_mv[pfn] = order
+        mem.free_mt_mv[pfn] = imt
         self.nr_free += 1 << order
 
     def _remove_free(self, pfn: int) -> None:
-        order = int(self.mem.free_order[pfn])
-        mt = MigrateType(int(self.mem.free_mt[pfn]))
-        removed = self.free_lists[order][mt].discard(pfn)
-        assert removed, f"free block {pfn} not on list {order}/{mt}"
-        self.mem.free_order[pfn] = -1
+        mem = self.mem
+        order = mem.free_order_mv[pfn]
+        imt = mem.free_mt_mv[pfn]
+        flist = self.free_lists[order][imt]
+        removed = flist.discard(pfn)
+        assert removed, f"free block {pfn} not on list {order}/{imt}"
+        if not flist:
+            self._occ[imt] &= ~(1 << order)
+        mem.free_order_mv[pfn] = -1
         self.nr_free -= 1 << order
 
     # ------------------------------------------------------------------
@@ -365,10 +429,19 @@ class BuddyAllocator:
 
     def largest_free_order(self) -> int:
         """Largest order with any free block, or -1 if nothing is free."""
-        for o in range(MAX_ORDER, -1, -1):
-            if any(self.free_lists[o][mt] for mt in MigrateType):
+        occ = self._occ
+        while True:
+            combined = 0
+            for b in occ:
+                combined |= b
+            if not combined:
+                return -1
+            o = combined.bit_length() - 1
+            lists = self.free_lists[o]
+            if any(lists[mt] for mt in MigrateType):
                 return o
-        return -1
+            for mt in MigrateType:  # all empty at o: heal stale bits
+                occ[int(mt)] &= ~(1 << o)
 
     def check_consistency(self) -> None:
         """Assert free-list bookkeeping matches the frame arrays.
@@ -378,6 +451,14 @@ class BuddyAllocator:
         counted = 0
         for order, lists in enumerate(self.free_lists):
             for mt, flist in lists.items():
+                if flist:
+                    # Occupancy soundness: a non-empty list must have its
+                    # bitmap bit set (the reverse — a set bit over an
+                    # empty list — is allowed; bits heal lazily).
+                    assert self._occ[int(mt)] >> order & 1, (
+                        f"occupancy bit clear for non-empty list "
+                        f"{order}/{mt}"
+                    )
                 for pfn in flist:
                     assert self.mem.free_order[pfn] == order, (
                         f"pfn {pfn}: list order {order} != "

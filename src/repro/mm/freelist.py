@@ -19,6 +19,22 @@ order, and a lazy-deletion deque for temporal order.  Stale entries (PFNs
 no longer in the set) are skipped on pop, so removal of an arbitrary block
 — required when the buddy allocator merges neighbours or compaction
 captures a specific range — stays O(1).
+
+Stale entries are *bounded*: every removal bumps a counter, and once the
+removals since the last rebuild exceed ``max(_COMPACT_MIN, live
+members)`` — i.e. the stale fraction passes ~50 % — all three structures
+are rebuilt from the live set.  Without this, a long-running simulation
+leaks heap memory linearly in the number of discards.  The rebuild
+preserves observable behaviour on every path the simulator uses: the
+heaps are reconstructed in sorted order (lowest/highest pops unchanged)
+and the deque keeps each live member's first and last occurrence in
+their original temporal order (LIFO pops unchanged — a live member's
+newest entry is never dropped).  The one normalisation: a member
+discarded and later re-added takes its FIFO position from the re-add,
+whereas the lazy path could revive its older entry.  No kernel
+configuration pops FIFO (Linux baselines run LIFO; Contiguitas
+placement uses address order), so simulation trajectories are
+unaffected.
 """
 
 from __future__ import annotations
@@ -27,17 +43,25 @@ import heapq
 from collections import deque
 from collections.abc import Iterator
 
+#: Rebuilds never trigger below this many removals, so tiny lists are
+#: not churned; above it, a >50 % stale fraction triggers a rebuild.
+_COMPACT_MIN = 64
+
 
 class FreeList:
     """A set of free-block head PFNs supporting ordered extraction."""
 
-    __slots__ = ("_members", "_min_heap", "_max_heap", "_queue")
+    __slots__ = ("_members", "_min_heap", "_max_heap", "_queue",
+                 "_removals")
 
     def __init__(self) -> None:
         self._members: set[int] = set()
         self._min_heap: list[int] = []
         self._max_heap: list[int] = []
         self._queue: deque[int] = deque()
+        #: Removals since the last compaction — an upper bound on the
+        #: stale entries in any one structure.
+        self._removals = 0
 
     def __len__(self) -> int:
         return len(self._members)
@@ -65,50 +89,109 @@ class FreeList:
         """Remove *pfn* if present; returns whether it was present.
 
         The heap entries become stale and are skipped lazily by the pop
-        methods.
+        methods (and reclaimed wholesale by compaction).
         """
         if pfn in self._members:
             self._members.remove(pfn)
+            r = self._removals = self._removals + 1
+            if r > _COMPACT_MIN and r > len(self._members):
+                self._compact()
             return True
         return False
 
+    def _compact(self) -> None:
+        """Rebuild all three structures from the live set.
+
+        A sorted list is a valid binary min-heap, so the heaps pop in
+        exactly the same order afterwards.  The deque keeps only the
+        first and last occurrence of each live member: LIFO pops the
+        rightmost occurrence and FIFO the leftmost, so middle duplicates
+        (from discard-then-re-add cycles) can never be popped and are
+        dead weight.  Entries of currently-dead members are dropped,
+        which pins their FIFO position to any future re-add (see the
+        module docstring).  Post-rebuild sizes are therefore at most
+        ``live`` (heaps) / ``2 * live`` (deque), and the removal-counter
+        trigger guarantees Omega(live) operations between rebuilds —
+        O(log n) amortised per operation.
+        """
+        self._removals = 0
+        members = self._members
+        self._min_heap = sorted(members)
+        self._max_heap = [-p for p in reversed(self._min_heap)]
+        if len(self._queue) > len(members):
+            first: dict[int, int] = {}
+            last: dict[int, int] = {}
+            for i, p in enumerate(self._queue):
+                if p in members:
+                    if p not in first:
+                        first[p] = i
+                    last[p] = i
+            keep = set(first.values())
+            keep.update(last.values())
+            self._queue = deque(
+                p for i, p in enumerate(self._queue) if i in keep)
+
     def pop_lowest(self) -> int:
         """Remove and return the lowest PFN (raises KeyError if empty)."""
+        members = self._members
         while self._min_heap:
             pfn = heapq.heappop(self._min_heap)
-            if pfn in self._members:
-                self._members.remove(pfn)
+            if pfn in members:
+                members.remove(pfn)
+                r = self._removals = self._removals + 1
+                if r > _COMPACT_MIN and r > len(members):
+                    self._compact()
                 return pfn
         raise KeyError("pop from empty FreeList")
 
     def pop_highest(self) -> int:
         """Remove and return the highest PFN (raises KeyError if empty)."""
+        members = self._members
         while self._max_heap:
             pfn = -heapq.heappop(self._max_heap)
-            if pfn in self._members:
-                self._members.remove(pfn)
+            if pfn in members:
+                members.remove(pfn)
+                r = self._removals = self._removals + 1
+                if r > _COMPACT_MIN and r > len(members):
+                    self._compact()
                 return pfn
         raise KeyError("pop from empty FreeList")
 
     def pop_lifo(self) -> int:
         """Remove and return the most recently added PFN (Linux list-head
         behaviour); raises KeyError if empty."""
+        members = self._members
         while self._queue:
             pfn = self._queue.pop()
-            if pfn in self._members:
-                self._members.remove(pfn)
+            if pfn in members:
+                members.remove(pfn)
+                r = self._removals = self._removals + 1
+                if r > _COMPACT_MIN and r > len(members):
+                    self._compact()
                 return pfn
         raise KeyError("pop from empty FreeList")
 
     def pop_fifo(self) -> int:
         """Remove and return the oldest added PFN; raises KeyError if
         empty."""
+        members = self._members
         while self._queue:
             pfn = self._queue.popleft()
-            if pfn in self._members:
-                self._members.remove(pfn)
+            if pfn in members:
+                members.remove(pfn)
+                r = self._removals = self._removals + 1
+                if r > _COMPACT_MIN and r > len(members):
+                    self._compact()
                 return pfn
         raise KeyError("pop from empty FreeList")
+
+    def stale_entries(self) -> int:
+        """Total stale (lazy-deleted) entries across the internal
+        structures — exposed for the churn tests and diagnostics."""
+        live = len(self._members)
+        return (len(self._min_heap) - live) + \
+            (len(self._max_heap) - live) + \
+            max(0, len(self._queue) - live)
 
     def peek_lowest(self) -> int:
         """Return the lowest PFN without removing it."""

@@ -23,10 +23,21 @@ class PageblockTable:
                  initial: MigrateType = MigrateType.MOVABLE) -> None:
         self.mem = mem
         self.types = np.full(mem.npageblocks, int(initial), dtype=np.int8)
+        # Scalar view sharing the buffer; see PhysicalMemory for why.
+        self._types_mv = memoryview(self.types)
 
     def get(self, pfn: int) -> MigrateType:
         """Migrate type of the pageblock containing *pfn*."""
         return MigrateType(int(self.types[pfn // PAGEBLOCK_FRAMES]))
+
+    def get_int(self, pfn: int) -> int:
+        """Migrate type of the pageblock containing *pfn*, as a raw int.
+
+        Hot-path variant of :meth:`get`: skips the IntEnum construction,
+        which costs more than the array read itself.  Compares equal to
+        the corresponding :class:`MigrateType` member.
+        """
+        return self._types_mv[pfn // PAGEBLOCK_FRAMES]
 
     def set(self, pfn: int, mt: MigrateType) -> None:
         """Set the migrate type of the pageblock containing *pfn*."""

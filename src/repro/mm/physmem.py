@@ -64,6 +64,21 @@ class PhysicalMemory:
         self.head_of = np.zeros(nframes, dtype=np.int64)
         self.birth = np.zeros(nframes, dtype=np.int64)
 
+        # Scalar views over the same buffers.  Single-frame reads and
+        # writes through a memoryview skip numpy's dispatch and return
+        # plain Python ints (no np scalar, no int() round-trip), which
+        # roughly halves the cost of the order-0 alloc/free hot path.
+        # Writes through either view land in the shared buffer, so the
+        # vectorised slice paths above stay coherent.
+        self.flags_mv = memoryview(self.flags)
+        self.migratetype_mv = memoryview(self.migratetype)
+        self.source_mv = memoryview(self.source)
+        self.free_order_mv = memoryview(self.free_order)
+        self.free_mt_mv = memoryview(self.free_mt)
+        self.alloc_order_mv = memoryview(self.alloc_order)
+        self.head_of_mv = memoryview(self.head_of)
+        self.birth_mv = memoryview(self.birth)
+
         #: Live allocation heads, maintained for iteration by analyses.
         self.alloc_heads: set[int] = set()
 
@@ -81,6 +96,19 @@ class PhysicalMemory:
         pinned: bool = False,
     ) -> None:
         """Record a live allocation of ``2**order`` frames headed at *pfn*."""
+        if order == 0:
+            # Scalar fast path: order-0 dominates workload traffic and
+            # numpy's slice machinery costs more than the writes.
+            assert not self.flags_mv[pfn], "double allocation"
+            self.flags_mv[pfn] = (_F_ALLOCATED | _F_HEAD
+                                  | (_F_PINNED if pinned else 0))
+            self.migratetype_mv[pfn] = int(migratetype)
+            self.source_mv[pfn] = int(source)
+            self.head_of_mv[pfn] = pfn
+            self.alloc_order_mv[pfn] = 0
+            self.birth_mv[pfn] = birth
+            self.alloc_heads.add(pfn)
+            return
         end = pfn + (1 << order)
         assert not self.flags[pfn:end].any(), "double allocation"
         self.flags[pfn:end] = _F_ALLOCATED | (_F_PINNED if pinned else 0)
@@ -94,11 +122,13 @@ class PhysicalMemory:
 
     def mark_free(self, pfn: int) -> int:
         """Clear a live allocation headed at *pfn*; returns its order."""
-        order = int(self.alloc_order[pfn])
+        order = self.alloc_order_mv[pfn]
         assert order >= 0, f"freeing non-head pfn {pfn}"
-        end = pfn + (1 << order)
-        self.flags[pfn:end] = 0
-        self.alloc_order[pfn] = -1
+        if order == 0:
+            self.flags_mv[pfn] = 0
+        else:
+            self.flags[pfn:pfn + (1 << order)] = 0
+        self.alloc_order_mv[pfn] = -1
         self.alloc_heads.discard(pfn)
         return order
 
@@ -125,13 +155,13 @@ class PhysicalMemory:
     # ------------------------------------------------------------------
 
     def is_allocated(self, pfn: int) -> bool:
-        return bool(self.flags[pfn] & _F_ALLOCATED)
+        return bool(self.flags_mv[pfn] & _F_ALLOCATED)
 
     def is_head(self, pfn: int) -> bool:
-        return bool(self.flags[pfn] & _F_HEAD)
+        return bool(self.flags_mv[pfn] & _F_HEAD)
 
     def is_pinned(self, pfn: int) -> bool:
-        return bool(self.flags[pfn] & _F_PINNED)
+        return bool(self.flags_mv[pfn] & _F_PINNED)
 
     def allocation_info(self, pfn: int) -> AllocationInfo:
         """Describe the allocation owning frame *pfn* (head or member)."""

@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..errors import ContiguityError, OutOfMemoryError
+from ..mm import vmstat as ev
 from ..kalloc.netbuf import NetworkBufferPool, NetworkQueueConfig
 from ..kalloc.pagetable import PageTableAllocator
 from ..kalloc.slab import SlabAllocator
@@ -131,6 +132,12 @@ class Workload:
         self.gigapages: list[PageHandle] = []
         self.cache_pages: list[PageHandle] = []
         self._cache_frames = 0
+        self._prune_threshold = 4 * kernel.mem.nframes // 64
+        #: PAGES_RECLAIMED value at the last cache prune.  Handles in
+        #: ``cache_pages`` only become freed through kernel reclaim
+        #: (bounded-mode eviction pops them from the list first), so an
+        #: unchanged counter proves the prune would be an identity pass.
+        self._pruned_reclaimed = -1
         self._expiries: list[_Expiry] = []
         self._seq = 0
         self.steps = 0
@@ -236,8 +243,6 @@ class Workload:
         opportunistically until memory is full — the production steady
         state in which every later allocation is served from reclaimed
         pages (Linux never leaves memory idle)."""
-        from ..mm import vmstat as ev
-
         want = int(self.kernel.mem.nframes * self.spec.cache_fraction)
         reclaimed_before = self.kernel.stat[ev.PAGES_RECLAIMED]
         budget = self.kernel.mem.nframes  # hard stop, belt and braces
@@ -272,10 +277,25 @@ class Workload:
             self._traffic = 1.0 + spec0.diurnal_amplitude * math.sin(phase)
         else:
             self._traffic = 1.0
-        if len(self.cache_pages) > 4 * self.kernel.mem.nframes // 64:
-            # Prune handles the kernel's reclaim already freed.
-            self.cache_pages = [h for h in self.cache_pages if not h.freed]
-            self._cache_frames = sum(h.nframes for h in self.cache_pages)
+        if len(self.cache_pages) > self._prune_threshold:
+            # Prune handles the kernel's reclaim already freed.  Skipped
+            # outright when PAGES_RECLAIMED has not moved since the last
+            # prune — no reclaim means no cache handle was freed, so the
+            # pass would rebuild an identical list.  Otherwise one fused
+            # pass: this runs at steady state over a large handle list
+            # and used to dominate fleet-sample wall-clock.
+            reclaimed = self.kernel.stat[ev.PAGES_RECLAIMED]
+            if reclaimed != self._pruned_reclaimed:
+                self._pruned_reclaimed = reclaimed
+                live = []
+                frames = 0
+                append = live.append
+                for h in self.cache_pages:
+                    if not h.freed:
+                        append(h)
+                        frames += 1 << h.order
+                self.cache_pages = live
+                self._cache_frames = frames
         spec = self.spec
         t = self._traffic
         self._spawn_poisson(spec.net_rate_per_gib * t, self._spawn_netbuf)

@@ -1,0 +1,70 @@
+"""Parallel fleet engine: worker resolution, fallback, bit-identity."""
+
+import pytest
+
+from repro.fleet import FleetSample, ServerConfig, resolve_workers, run_fleet
+from repro.fleet.engine import WORKERS_ENV
+from repro.units import MiB
+
+SMALL = ServerConfig(mem_bytes=MiB(64), min_uptime_steps=20,
+                     max_uptime_steps=60)
+
+
+class TestWorkerResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert resolve_workers(None) == 5
+
+    def test_env_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        assert resolve_workers(None) == 1
+
+    def test_defaults_to_cpu_count(self, monkeypatch):
+        import os
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) == max(1, os.cpu_count() or 1)
+
+    def test_never_below_one(self):
+        assert resolve_workers(-4) == 1
+
+
+class TestRunFleet:
+    def test_serial_fallback_matches_direct_loop(self):
+        from repro.fleet import SimulatedServer
+
+        scans = run_fleet(3, config=SMALL, base_seed=9, workers=1)
+        direct = [SimulatedServer(SMALL, seed=9 + i).run()
+                  for i in range(3)]
+        assert scans == direct
+
+    def test_parallel_bit_identical_to_serial(self):
+        """The acceptance property: scans from the process pool equal the
+        serial path field-for-field, in index order."""
+        serial = run_fleet(4, config=SMALL, base_seed=3, workers=1)
+        parallel = run_fleet(4, config=SMALL, base_seed=3, workers=2,
+                             chunk_size=1)
+        assert parallel == serial
+
+    def test_sample_fleet_workers_param(self):
+        from repro.fleet import sample_fleet
+
+        a = sample_fleet(n_servers=2, config=SMALL, base_seed=1, workers=1)
+        b = sample_fleet(n_servers=2, config=SMALL, base_seed=1, workers=2)
+        assert a.scans == b.scans
+
+    def test_zero_servers(self):
+        assert run_fleet(0, config=SMALL, workers=1) == []
+
+
+class TestEmptyFleetAggregates:
+    def test_fraction_without_any_empty(self):
+        sample = FleetSample(scans=[])
+        assert sample.fraction_without_any("2MB") == 0.0
+        assert sample.fraction_without_any("1GB") == 0.0
+
+    def test_source_breakdown_empty(self):
+        assert FleetSample(scans=[]).source_breakdown() == {}

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.mm.freelist import FreeList
+from repro.mm.freelist import _COMPACT_MIN, FreeList
 
 
 def test_empty_behaviour():
@@ -75,6 +75,65 @@ def test_readd_after_discard():
     fl.discard(7)
     fl.add(7)
     assert fl.pop_highest() == 7
+
+
+def test_churn_keeps_structures_bounded():
+    """Heavy add/discard churn must not leak stale heap/deque entries:
+    internal structures stay within a constant factor of the live set."""
+    fl = FreeList()
+    live_span = 512
+    for i in range(40_000):
+        fl.add(i % live_span)
+        fl.discard((i * 7 + 3) % live_span)
+    live = len(fl)
+    assert live <= live_span
+    # Between compactions at most max(_COMPACT_MIN, live) removals
+    # accumulate, each leaving one stale entry per structure; the deque
+    # additionally keeps up to two occurrences per live member.
+    slack = max(_COMPACT_MIN, live) + 1
+    assert len(fl._min_heap) <= live + slack
+    assert len(fl._max_heap) <= live + slack
+    assert len(fl._queue) <= 2 * live + slack
+    assert fl.stale_entries() <= 3 * slack + live
+
+
+def test_churn_through_compaction_preserves_order():
+    """Discarding past the compaction trigger must not disturb the
+    address-ordered pop sequence."""
+    fl = FreeList()
+    n = 4 * _COMPACT_MIN
+    for pfn in range(n):
+        fl.add(pfn)
+    for pfn in range(0, n, 2):  # force > _COMPACT_MIN removals
+        fl.discard(pfn)
+    assert [fl.pop_lowest() for _ in range(len(fl))] == list(range(1, n, 2))
+
+
+@settings(max_examples=150)
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 40)),
+                max_size=120))
+def test_compaction_is_behaviour_preserving(ops):
+    """Property: forcing a rebuild after every operation never changes
+    the pop sequences the simulator relies on (address order and LIFO;
+    FIFO of discard-then-re-added members is documented as normalised,
+    and no kernel path pops FIFO)."""
+    plain = FreeList()
+    compacted = FreeList()
+    for op, pfn in ops:
+        if op == 0:
+            plain.add(pfn)
+            compacted.add(pfn)
+        elif op == 1:
+            assert plain.discard(pfn) == compacted.discard(pfn)
+        elif op == 2 and plain:
+            assert plain.pop_lifo() == compacted.pop_lifo()
+        elif op == 3 and plain:
+            assert plain.pop_highest() == compacted.pop_highest()
+        compacted._compact()
+        assert len(plain) == len(compacted)
+    while plain:
+        assert plain.pop_lowest() == compacted.pop_lowest()
+    assert not compacted
 
 
 @settings(max_examples=200)
