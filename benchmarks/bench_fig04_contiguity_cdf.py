@@ -16,7 +16,7 @@ def compute():
     sample = fleet_sample()
     rows = []
     for gran in ("2MB", "4MB", "32MB", "1GB"):
-        values = sample.contiguity_values(gran)
+        values = sample.series("contiguity", gran)
         cdf = [sum(1 for v in values if v <= p) / len(values)
                for p in CDF_POINTS]
         rows.append([gran] + [f"{c:.2f}" for c in cdf])

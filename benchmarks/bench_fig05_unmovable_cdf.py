@@ -17,7 +17,7 @@ def compute():
     sample = fleet_sample()
     rows = []
     for gran in ("2MB", "4MB", "32MB", "1GB"):
-        values = sample.unmovable_values(gran)
+        values = sample.series("unmovable", gran)
         cdf = [sum(1 for v in values if v <= p) / len(values)
                for p in CDF_POINTS]
         rows.append([gran] + [f"{c:.2f}" for c in cdf])
@@ -26,7 +26,7 @@ def compute():
 
 def test_fig05_unmovable_cdf(benchmark):
     sample, rows = benchmark.pedantic(compute, rounds=1, iterations=1)
-    med = {g: median(sample.unmovable_values(g))
+    med = {g: median(sample.series("unmovable", g))
            for g in ("2MB", "4MB", "32MB", "1GB")}
     text = format_table(
         ["Granularity"] + [f"<= {p:.0%}" for p in CDF_POINTS],

@@ -1,0 +1,66 @@
+"""Fail when benchmark throughput regresses past a threshold.
+
+Usage (from the repo root, after ``run_perf.py`` has written BENCH
+JSONs against a current ``baseline.json``)::
+
+    python benchmarks/perf/check_regression.py BENCH_allocator.json \
+        [BENCH_fleet.json ...] [--max-regress 0.05]
+
+A bench regresses when its ``speedup_vs_baseline`` drops below
+``1 - max_regress``.  Benches with no baseline entry are reported and
+skipped — the gate only compares like with like (CI refreshes the quick
+baseline in-job so the comparison is same-machine, same-sizes).
+
+Exit status: 0 when every compared bench is within bounds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def check(paths: list[str], max_regress: float) -> int:
+    failures = []
+    compared = 0
+    for path in paths:
+        with open(path) as fh:
+            data = json.load(fh)
+        for name, row in sorted(data.get("benches", {}).items()):
+            speedup = row.get("speedup_vs_baseline")
+            if speedup is None:
+                print(f"skip {name}: no baseline entry")
+                continue
+            compared += 1
+            status = "ok" if speedup >= 1 - max_regress else "FAIL"
+            print(f"{status:4s} {name:28s} speedup {speedup:.3f} "
+                  f"(floor {1 - max_regress:.3f})")
+            if status == "FAIL":
+                failures.append(name)
+    if not compared:
+        print("error: no benches had baseline entries; nothing compared",
+              file=sys.stderr)
+        return 1
+    if failures:
+        print(f"{len(failures)} bench(es) regressed more than "
+              f"{max_regress:.0%}: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"all {compared} compared bench(es) within {max_regress:.0%}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", nargs="+",
+                        help="BENCH_*.json files written by run_perf.py")
+    parser.add_argument("--max-regress", type=float, default=0.05,
+                        help="allowed fractional slowdown (default 0.05)")
+    args = parser.parse_args(argv)
+    if not 0 <= args.max_regress < 1:
+        parser.error("--max-regress must be in [0, 1)")
+    return check(args.bench_json, args.max_regress)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

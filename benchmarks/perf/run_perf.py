@@ -24,7 +24,12 @@ _REPO_ROOT = os.path.dirname(os.path.dirname(_PERF_DIR))
 sys.path.insert(0, _PERF_DIR)
 sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
 
-from harness import write_baseline, write_bench_json  # noqa: E402
+from harness import (  # noqa: E402
+    load_baseline,
+    results_to_dict,
+    write_baseline,
+    write_bench_json,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -35,6 +40,11 @@ def main(argv: list[str] | None = None) -> int:
                         default="all")
     parser.add_argument("--write-baseline", action="store_true",
                         help="record these numbers as the new baseline")
+    parser.add_argument("--manifest", metavar="PATH",
+                        default=os.path.join(_REPO_ROOT,
+                                             "BENCH_manifest.json"),
+                        help="where to write the run manifest "
+                             "(repro metrics diffs these)")
     args = parser.parse_args(argv)
 
     import bench_alloc_churn
@@ -60,6 +70,19 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.write_baseline:
         print(f"baseline -> {write_baseline(all_results)}")
+
+    # One manifest for the whole perf run so successive PRs (and the CI
+    # artifact trail) can be compared with `repro metrics A B`.
+    from repro.telemetry import build_manifest, write_manifest
+
+    manifest = build_manifest(
+        kind="perf",
+        config={"quick": args.quick, "suite": args.suite},
+        bench=results_to_dict(all_results,
+                              load_baseline().get("benches", {})),
+        volatile={"cpu_count": os.cpu_count()},
+    )
+    print(f"manifest -> {write_manifest(args.manifest, manifest)}")
     return 0
 
 

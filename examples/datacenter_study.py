@@ -30,7 +30,7 @@ def main() -> None:
 
     rows = []
     for gran in ("2MB", "4MB", "32MB", "1GB"):
-        values = fleet.contiguity_values(gran)
+        values = fleet.series("contiguity", gran)
         rows.append((
             gran,
             percent(fleet.fraction_without_any(gran), 0),

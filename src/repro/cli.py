@@ -6,6 +6,12 @@ Examples::
     python -m repro walk --service Web    # page-walk cycles per page size
     python -m repro steady --service CacheB --kernel contiguitas
     python -m repro fleet --servers 8     # mini fleet survey
+    python -m repro fleet --servers 8 --trace --events ev.jsonl \\
+        --manifest run.json               # observable fleet run
+    python -m repro trace --match 'mm.buddy.*' --limit 20
+    python -m repro trace --input ev.jsonl --match 'mm.compact.*'
+    python -m repro metrics run.json      # pretty-print one manifest
+    python -m repro metrics a.json b.json # diff two runs
     python -m repro hwcost                # metadata-table cost model
 """
 
@@ -99,10 +105,19 @@ def _cmd_steady(args) -> None:
 
 def _cmd_fleet(args) -> None:
     from .fleet import ServerConfig, sample_fleet
+    from .telemetry import TelemetryConfig
 
+    telemetry = None
+    if args.trace or args.events or args.manifest:
+        telemetry = TelemetryConfig(
+            trace=bool(args.trace or args.events),
+            events_path=args.events,
+            manifest_path=args.manifest,
+        )
     config = ServerConfig(mem_bytes=MiB(args.mem_mib))
     fleet = sample_fleet(n_servers=args.servers, config=config,
-                         base_seed=args.seed)
+                         base_seed=args.seed, workers=args.workers,
+                         telemetry=telemetry)
     rows = [
         (gran,
          percent(fleet.fraction_without_any(gran), 0),
@@ -115,6 +130,71 @@ def _cmd_fleet(args) -> None:
         rows, title=f"Fleet survey over {args.servers} servers"))
     print(f"\nPearson(uptime, free 2MB blocks) = "
           f"{fleet.uptime_correlation():+.3f}")
+    if args.events:
+        print(f"trace events written to {args.events}")
+    if args.manifest:
+        print(f"run manifest written to {args.manifest}")
+
+
+def _format_event(event) -> str:
+    payload = " ".join(f"{k}={v}" for k, v in sorted(event.fields.items()))
+    return f"{event.ts:>10}  {event.name:<24} {payload}"
+
+
+def _cmd_trace(args) -> None:
+    from fnmatch import fnmatchcase
+
+    from .telemetry import read_jsonl, tracing
+
+    if args.input:
+        events = read_jsonl(args.input)
+    else:
+        # No input stream: run a small steady-state workload under
+        # tracing so the command is useful standalone.
+        from .mm import KernelConfig, LinuxKernel
+        from .workloads import BY_NAME, Workload
+
+        kernel = LinuxKernel(KernelConfig(mem_bytes=MiB(args.mem_mib)))
+        workload = Workload(kernel, BY_NAME[args.service], seed=args.seed)
+        with tracing(*(args.match or ["*"])) as sink:
+            workload.start()
+            for _ in range(args.steps):
+                workload.step()
+        events = sink.events()
+        if sink.dropped:
+            print(f"# ring dropped {sink.dropped} oldest events")
+
+    if args.match:
+        events = [e for e in events
+                  if any(fnmatchcase(e.name, p) for p in args.match)]
+    if args.limit:
+        events = events[-args.limit:]
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            for e in events:
+                fh.write(e.to_json() + "\n")
+        print(f"{len(events)} events written to {args.out}")
+    else:
+        for e in events:
+            print(_format_event(e))
+
+
+def _cmd_metrics(args) -> None:
+    from .telemetry import (
+        format_manifest,
+        format_manifest_diff,
+        load_manifest,
+        manifest_diff,
+    )
+
+    if len(args.manifests) > 2:
+        raise SystemExit("repro metrics takes one manifest, or two to diff")
+    if len(args.manifests) == 1:
+        print(format_manifest(load_manifest(args.manifests[0])))
+    else:
+        a, b = (load_manifest(p) for p in args.manifests)
+        print(format_manifest_diff(manifest_diff(a, b)))
 
 
 def _cmd_interference(args) -> None:
@@ -192,7 +272,42 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--servers", type=int, default=6)
     fleet.add_argument("--mem-mib", type=int, default=512)
     fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--workers", type=int, default=None,
+                       help="process count (default: REPRO_FLEET_WORKERS "
+                            "or cpu count; 1 = serial)")
+    fleet.add_argument("--trace", action="store_true",
+                       help="enable tracepoints during the run")
+    fleet.add_argument("--events", metavar="PATH", default=None,
+                       help="stream trace events to PATH as JSONL "
+                            "(implies --trace)")
+    fleet.add_argument("--manifest", metavar="PATH", default=None,
+                       help="write the run manifest JSON to PATH")
     fleet.set_defaults(fn=_cmd_fleet)
+
+    trace = sub.add_parser(
+        "trace", help="dump/filter a tracepoint event stream")
+    trace.add_argument("--input", metavar="PATH", default=None,
+                       help="read a JSONL event stream instead of running "
+                            "a workload")
+    trace.add_argument("--match", action="append", metavar="GLOB",
+                       help="only events whose name matches (repeatable)")
+    trace.add_argument("--limit", type=int, default=0,
+                       help="print only the last N events")
+    trace.add_argument("--out", metavar="PATH", default=None,
+                       help="write matching events as JSONL instead of "
+                            "pretty-printing")
+    trace.add_argument("--service", default="CacheB",
+                       choices=["Web", "CacheA", "CacheB", "CI"])
+    trace.add_argument("--mem-mib", type=int, default=128)
+    trace.add_argument("--steps", type=int, default=60)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.set_defaults(fn=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics", help="pretty-print one run manifest, or diff two")
+    metrics.add_argument("manifests", nargs="+", metavar="MANIFEST",
+                         help="one manifest to summarise, or two to diff")
+    metrics.set_defaults(fn=_cmd_metrics)
 
     sub.add_parser("hwcost", help="metadata-table cost").set_defaults(
         fn=_cmd_hwcost)
@@ -212,4 +327,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> None:
     args = build_parser().parse_args(argv)
-    args.fn(args)
+    try:
+        args.fn(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        import os
+        import sys
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            os._exit(0)

@@ -28,9 +28,16 @@ fallback keeps tests and constrained CI deterministic and fork-free.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 
+from ..errors import ConfigurationError
+from ..telemetry import tracepoint
 from .server import ServerConfig, ServerScan, SimulatedServer
+
+_tp_run_start = tracepoint("fleet.run.start")
+_tp_server_done = tracepoint("fleet.server.done")
+_tp_run_finish = tracepoint("fleet.run.finish")
 
 #: Environment override for the default worker count (0 or 1 = serial).
 WORKERS_ENV = "REPRO_FLEET_WORKERS"
@@ -49,11 +56,22 @@ def resolve_workers(workers: int | None = None) -> int:
     """Resolve an effective worker count (>= 1).
 
     ``None`` falls back to :data:`WORKERS_ENV`, then ``os.cpu_count()``.
+    A :data:`WORKERS_ENV` value that is not a base-10 integer, or is
+    negative, raises :class:`~repro.errors.ConfigurationError` — a typo'd
+    environment should fail loudly, not silently run serial.  ``0`` is the
+    documented "force serial" spelling and stays valid.
     """
     if workers is None:
         env = os.environ.get(WORKERS_ENV, "").strip()
         if env:
-            workers = int(env)
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{WORKERS_ENV}={env!r} is not an integer") from None
+            if workers < 0:
+                raise ConfigurationError(
+                    f"{WORKERS_ENV}={env!r} must be >= 0 (0 = serial)")
         else:
             workers = os.cpu_count() or 1
     return max(1, workers)
@@ -72,9 +90,37 @@ def run_fleet(n_servers: int,
     """
     payloads = [(config, base_seed + i) for i in range(n_servers)]
     nworkers = min(resolve_workers(workers), max(1, n_servers))
+    traced = _tp_run_start.enabled or _tp_run_finish.enabled
+    t0 = time.perf_counter() if traced or _tp_server_done.enabled else 0.0
+    if _tp_run_start.enabled:
+        _tp_run_start.emit(n_servers=n_servers, workers=nworkers,
+                           base_seed=base_seed)
     if nworkers <= 1:
-        return [scan_one(p) for p in payloads]
-    if chunk_size is None:
-        chunk_size = max(1, n_servers // (nworkers * _CHUNKS_PER_WORKER))
-    with ProcessPoolExecutor(max_workers=nworkers) as pool:
-        return list(pool.map(scan_one, payloads, chunksize=chunk_size))
+        scans = []
+        for i, p in enumerate(payloads):
+            t1 = time.perf_counter() if _tp_server_done.enabled else 0.0
+            scan = scan_one(p)
+            if _tp_server_done.enabled:
+                _tp_server_done.emit(index=i, seed=p[1],
+                                     uptime_steps=scan.uptime_steps,
+                                     seconds=time.perf_counter() - t1)
+            scans.append(scan)
+    else:
+        if chunk_size is None:
+            chunk_size = max(1, n_servers // (nworkers * _CHUNKS_PER_WORKER))
+        with ProcessPoolExecutor(max_workers=nworkers) as pool:
+            scans = []
+            for i, scan in enumerate(pool.map(scan_one, payloads,
+                                              chunksize=chunk_size)):
+                if _tp_server_done.enabled:
+                    # Parallel timing is per-result arrival in the parent;
+                    # report elapsed-since-start, not per-server CPU time.
+                    _tp_server_done.emit(
+                        index=i, seed=payloads[i][1],
+                        uptime_steps=scan.uptime_steps,
+                        seconds=time.perf_counter() - t0)
+                scans.append(scan)
+    if _tp_run_finish.enabled:
+        _tp_run_finish.emit(n_servers=n_servers, workers=nworkers,
+                            seconds=time.perf_counter() - t0)
+    return scans

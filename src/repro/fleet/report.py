@@ -35,7 +35,7 @@ def render_report(sample: FleetSample, title: str = "Fleet memory study"
 
     lines.append("## Contiguity availability (Fig. 4)")
     lines.append("")
-    rows = [[g] + _cdf_rows(sample.contiguity_values(g))
+    rows = [[g] + _cdf_rows(sample.series("contiguity", g))
             for g in GRANULARITIES]
     lines.append(format_table(
         ["Granularity"] + [f"<= {p:.0%}" for p in CDF_POINTS], rows))
@@ -47,13 +47,13 @@ def render_report(sample: FleetSample, title: str = "Fleet memory study"
 
     lines.append("## Unmovable-block distribution (Fig. 5)")
     lines.append("")
-    rows = [[g] + _cdf_rows(sample.unmovable_values(g))
+    rows = [[g] + _cdf_rows(sample.series("unmovable", g))
             for g in GRANULARITIES]
     lines.append(format_table(
         ["Granularity"] + [f"<= {p:.0%}" for p in CDF_POINTS], rows))
     lines.append("")
     med = sample.median_unmovable("2MB")
-    p90 = percentile(sample.unmovable_values("2MB"), 90)
+    p90 = percentile(sample.series("unmovable", "2MB"), 90)
     lines.append(f"Median unmovable 2MB blocks: "
                  f"**{percent(med, 0)}** (p90 {percent(p90, 0)}).")
     lines.append("")

@@ -5,16 +5,36 @@ and scans their physical memory.  :func:`sample_fleet` runs N independent
 :class:`~repro.fleet.server.SimulatedServer` instances (scaled down but
 statistically diverse: different services, uptimes, and seeds) and returns
 the per-server scans plus fleet-level aggregates.
+
+Observability: passing a :class:`~repro.telemetry.TelemetryConfig` turns
+one sampling campaign into a *run* — tracepoints stream to a ring buffer
+or JSONL file while it executes, and a manifest (config, seeds, merged
+vmstat counters, aggregates) is attached to the returned sample and
+optionally written to disk for ``repro metrics`` diffing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 
+from ..errors import ConfigurationError
 from ..mm.page import AllocSource
-from .engine import run_fleet
+from ..telemetry import (
+    CounterSet,
+    JsonlSink,
+    RingBufferSink,
+    TelemetryConfig,
+    build_manifest,
+    tracing,
+    write_manifest,
+)
+from .engine import resolve_workers, run_fleet
 from .server import ServerConfig, ServerScan
 from .stats import median, pearson
+
+#: Per-server metrics addressable through :meth:`FleetSample.series`.
+SERIES_METRICS = ("contiguity", "unmovable")
 
 
 @dataclass
@@ -22,14 +42,38 @@ class FleetSample:
     """Aggregated results of one fleet-sampling campaign."""
 
     scans: list[ServerScan]
+    #: Run manifest when sampled with telemetry enabled; excluded from
+    #: equality so traced and untraced runs with identical scans compare
+    #: equal (the manifest carries volatile facts like timestamps).
+    manifest: dict | None = field(default=None, compare=False, repr=False)
+
+    def series(self, metric: str, granularity: str) -> list[float]:
+        """Per-server values of one scan *metric* at one *granularity*.
+
+        ``metric`` is ``"contiguity"`` (free-contiguity fraction) or
+        ``"unmovable"`` (unmovable-block fraction); granularities are the
+        scan-report keys (``"4KB"``/``"2MB"``/``"1GB"``...).
+        """
+        if metric not in SERIES_METRICS:
+            raise ConfigurationError(
+                f"unknown series metric {metric!r}; one of {SERIES_METRICS}")
+        return [getattr(s, metric)[granularity] for s in self.scans]
 
     def contiguity_values(self, granularity: str) -> list[float]:
-        """Per-server free-contiguity fractions at one granularity."""
-        return [s.contiguity[granularity] for s in self.scans]
+        """Deprecated: use ``series("contiguity", granularity)``."""
+        warnings.warn(
+            "FleetSample.contiguity_values() is deprecated; use "
+            "series('contiguity', granularity)",
+            DeprecationWarning, stacklevel=2)
+        return self.series("contiguity", granularity)
 
     def unmovable_values(self, granularity: str) -> list[float]:
-        """Per-server unmovable-block fractions at one granularity."""
-        return [s.unmovable[granularity] for s in self.scans]
+        """Deprecated: use ``series("unmovable", granularity)``."""
+        warnings.warn(
+            "FleetSample.unmovable_values() is deprecated; use "
+            "series('unmovable', granularity)",
+            DeprecationWarning, stacklevel=2)
+        return self.series("unmovable", granularity)
 
     def fraction_without_any(self, granularity: str = "2MB") -> float:
         """Paper §2.4: the fraction of servers with *zero* free blocks at
@@ -46,7 +90,7 @@ class FleetSample:
         return zeroes / len(self.scans)
 
     def median_unmovable(self, granularity: str = "2MB") -> float:
-        return median(self.unmovable_values(granularity))
+        return median(self.series("unmovable", granularity))
 
     def uptime_correlation(self) -> float:
         """Pearson correlation of uptime vs free 2 MiB block count
@@ -67,17 +111,99 @@ class FleetSample:
             return {}
         return {src: n / grand for src, n in totals.items()}
 
+    def vmstat_totals(self) -> CounterSet:
+        """Merged vmstat counters across every server in the sample."""
+        totals = CounterSet()
+        for scan in self.scans:
+            totals.merge(scan.vmstat)
+        return totals
+
+    def snapshot(self) -> dict:
+        """Fleet-level aggregates as one plain dict
+        (:class:`~repro.telemetry.Snapshotable` surface)."""
+        snap = {
+            "n_servers": len(self.scans),
+            "fraction_without_any_2mb": self.fraction_without_any("2MB"),
+            "median_unmovable_2mb": self.median_unmovable("2MB")
+            if self.scans else 0.0,
+            "uptime_correlation": self.uptime_correlation()
+            if len(self.scans) > 1 else 0.0,
+        }
+        # Flattened so manifest diffs show one row per source.
+        for src, frac in sorted(self.source_breakdown().items(),
+                                key=lambda kv: kv[0].name):
+            snap[f"unmovable_share.{src.name.lower()}"] = frac
+        return snap
+
+    def merge(self, other: "FleetSample") -> "FleetSample":
+        """Fold another campaign's scans into this one (aggregates are
+        derived, so merging the scan lists merges everything)."""
+        self.scans.extend(other.scans)
+        return self
+
+
+def _manifest_config(n_servers: int, config: ServerConfig | None,
+                     base_seed: int) -> dict:
+    cfg = config or ServerConfig()
+    return {
+        "n_servers": n_servers,
+        "base_seed": base_seed,
+        "mem_bytes": cfg.mem_bytes,
+        "kernel": cfg.kernel_cls.__name__,
+        "min_uptime_steps": cfg.min_uptime_steps,
+        "max_uptime_steps": cfg.max_uptime_steps,
+        "utilization_range": list(cfg.utilization_range),
+    }
+
 
 def sample_fleet(n_servers: int = 50,
                  config: ServerConfig | None = None,
                  base_seed: int = 0,
-                 workers: int | None = None) -> FleetSample:
+                 workers: int | None = None,
+                 telemetry: TelemetryConfig | None = None) -> FleetSample:
     """Run *n_servers* independent simulated servers and scan each.
 
     Servers run in parallel across processes when cores allow (see
     :mod:`repro.fleet.engine`); *workers* forces a count (1 = serial).
     Results are bit-identical to the serial path for any worker count.
+
+    With *telemetry* the run is observable: tracepoints matching
+    ``telemetry.trace_patterns`` stream to ``telemetry.events_path``
+    (JSONL) or an in-memory ring while the fleet executes, and a run
+    manifest lands on ``FleetSample.manifest`` (written to
+    ``telemetry.manifest_path`` when set).  The manifest's deterministic
+    view is identical for every worker count: per-server vmstat counters
+    are snapshotted inside the seeded workers and merged here.
     """
-    scans = run_fleet(n_servers, config=config, base_seed=base_seed,
-                      workers=workers)
-    return FleetSample(scans=scans)
+    tcfg = telemetry or TelemetryConfig()
+    sink = None
+    if tcfg.trace:
+        sink = (JsonlSink(tcfg.events_path) if tcfg.events_path
+                else RingBufferSink(tcfg.ring_capacity))
+        with tracing(*tcfg.trace_patterns, sink=sink):
+            scans = run_fleet(n_servers, config=config, base_seed=base_seed,
+                              workers=workers)
+        if isinstance(sink, JsonlSink):
+            sink.close()
+    else:
+        scans = run_fleet(n_servers, config=config, base_seed=base_seed,
+                          workers=workers)
+
+    sample = FleetSample(scans=scans)
+    if telemetry is not None and tcfg.emit_manifest:
+        manifest = build_manifest(
+            kind="fleet",
+            config=_manifest_config(n_servers, config, base_seed),
+            seed=base_seed,
+            counters=sample.vmstat_totals(),
+            aggregates=sample.snapshot(),
+            volatile={
+                "workers": resolve_workers(workers),
+                "trace_events": (sink.written if isinstance(sink, JsonlSink)
+                                 else sink.appended if sink else 0),
+            },
+        )
+        sample.manifest = manifest
+        if tcfg.manifest_path:
+            write_manifest(tcfg.manifest_path, manifest)
+    return sample

@@ -13,7 +13,7 @@ key empirical behaviours reproduced here:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..analysis.contiguity import (
     contiguity_report,
@@ -38,6 +38,23 @@ class ServerScan:
     contiguity: dict[str, float]
     unmovable: dict[str, float]
     sources: dict[AllocSource, int]
+    #: The server kernel's vmstat counters at scan time.  Computed inside
+    #: the (seeded, deterministic) worker so fleet manifests aggregate the
+    #: same counters whatever the worker count.
+    vmstat: dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> dict:
+        """Scalar measurements plus counters as one flat-ish dict
+        (:class:`~repro.telemetry.Snapshotable` surface)."""
+        return {
+            "uptime_steps": self.uptime_steps,
+            "free_frames": self.free_frames,
+            "free_2m_blocks": self.free_2m_blocks,
+            "contiguity": dict(self.contiguity),
+            "unmovable": dict(self.unmovable),
+            "sources": {src.name: n for src, n in self.sources.items()},
+            "vmstat": dict(self.vmstat),
+        }
 
 
 @dataclass
@@ -105,4 +122,5 @@ class SimulatedServer:
             contiguity=contiguity_report(mem),
             unmovable=unmovable_report(mem),
             sources=unmovable_breakdown(mem),
+            vmstat=kernel.stat.snapshot(),
         )

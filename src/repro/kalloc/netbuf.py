@@ -21,6 +21,10 @@ from dataclasses import dataclass
 
 from ..mm.handle import PageHandle
 from ..mm.page import AllocSource, MigrateType
+from ..telemetry import tracepoint
+
+_tp_alloc = tracepoint("kalloc.net.alloc")
+_tp_free = tracepoint("kalloc.net.free")
 
 
 @dataclass(frozen=True)
@@ -89,10 +93,15 @@ class NetworkBufferPool:
                 migratetype=MigrateType.UNMOVABLE,
             )
         self.transient.append(handle)
+        if _tp_alloc.enabled:
+            _tp_alloc.emit(pfn=handle.pfn, order=order, pinned=pinned)
         return handle
 
     def free_buffer(self, handle: PageHandle) -> None:
         """Release a transient buffer."""
+        if _tp_free.enabled:
+            _tp_free.emit(pfn=handle.pfn, order=handle.order,
+                          pinned=handle.pinned)
         self.transient.remove(handle)
         if handle.pinned:
             self.kernel.unpin_pages(handle)

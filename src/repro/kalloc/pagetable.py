@@ -13,7 +13,10 @@ from __future__ import annotations
 
 from ..mm.handle import PageHandle
 from ..mm.page import AllocSource, MigrateType
+from ..telemetry import tracepoint
 from ..units import PAGEBLOCK_FRAMES
+
+_tp_table = tracepoint("kalloc.pagetable.alloc")
 
 #: Translation entries per 4 KiB table (x86-64: 512 8-byte entries).
 ENTRIES_PER_TABLE = 512
@@ -47,6 +50,10 @@ class PageTableAllocator:
                 source=AllocSource.PAGETABLE,
                 migratetype=MigrateType.UNMOVABLE,
             ))
+            if _tp_table.enabled:
+                _tp_table.emit(pfn=self._tables[-1].pfn,
+                               tables=self.nr_tables,
+                               mapped_frames=self._mapped_frames)
 
     def on_unmap(self, nframes: int, leaf_level: int = 0) -> None:
         """Account for unmapping; empty tables are freed."""

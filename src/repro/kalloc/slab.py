@@ -16,6 +16,12 @@ from ..errors import ReproError
 from ..units import FRAME_SIZE
 from ..mm.handle import PageHandle
 from ..mm.page import AllocSource, MigrateType
+from ..telemetry import tracepoint
+
+# Slab-page grabs/returns, not per-object traffic: the page events are
+# what fragmentation analysis needs, and per-object would swamp the ring.
+_tp_grow = tracepoint("kalloc.slab.grow")
+_tp_shrink = tracepoint("kalloc.slab.shrink")
 
 
 @dataclass(frozen=True)
@@ -100,6 +106,9 @@ class SlabCache:
                 migratetype=self.migratetype,
             )
             self._partial.append(_Slab(handle, self.objects_per_slab))
+            if _tp_grow.enabled:
+                _tp_grow.emit(cache=self.name, pfn=handle.pfn,
+                              order=self.slab_order)
         slab = self._partial[-1]
         index = slab.free_slots.pop()
         if not slab.free_slots:
@@ -120,6 +129,9 @@ class SlabCache:
         self.total_objects -= 1
         if slab.in_use == 0:
             self._partial.remove(slab)
+            if _tp_shrink.enabled:
+                _tp_shrink.emit(cache=self.name, pfn=slab.handle.pfn,
+                                order=self.slab_order)
             self.kernel.free_pages(slab.handle)
 
     def frames_in_use(self) -> int:

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..telemetry import tracepoint
 from ..units import MAX_ORDER, PAGEBLOCK_FRAMES
 from . import vmstat as ev
 from .fallback import fallback_types, should_steal_pageblock
@@ -29,6 +30,14 @@ from .freelist import FreeList
 from .page import AllocSource, MigrateType
 from .pageblock import PageblockTable
 from .physmem import PhysicalMemory
+
+# Tracepoints at the allocator's decision points (docs/OBSERVABILITY.md).
+# Call sites guard on ``.enabled`` so the disabled path never builds
+# event arguments.
+_tp_alloc = tracepoint("mm.buddy.alloc")
+_tp_free = tracepoint("mm.buddy.free")
+_tp_fallback = tracepoint("mm.buddy.fallback")
+_tp_steal = tracepoint("mm.buddy.steal")
 
 
 class BuddyAllocator:
@@ -190,9 +199,16 @@ class BuddyAllocator:
             pfn = self._alloc_fallback(order, migratetype, direction)
         if pfn is None:
             self.stat.inc(ev.ALLOC_FAIL)
+            if _tp_alloc.enabled:
+                _tp_alloc.emit(ts=now, pfn=-1, order=order,
+                               mt=int(migratetype), label=self.label)
             return None
         self.mem.mark_allocated(pfn, order, migratetype, source, now, pinned)
         self.stat.inc(ev.ALLOC_SUCCESS)
+        if _tp_alloc.enabled:
+            _tp_alloc.emit(ts=now, pfn=pfn, order=order,
+                           mt=int(migratetype), source=int(source),
+                           label=self.label)
         return pfn
 
     def take_free(
@@ -215,6 +231,8 @@ class BuddyAllocator:
         """
         order = self.mem.mark_free(pfn)
         self.stat.inc(ev.PAGES_FREED, 1 << order)
+        if _tp_free.enabled:
+            _tp_free.emit(pfn=pfn, order=order, label=self.label)
         self.free_block(pfn, order)
         return order
 
@@ -355,11 +373,18 @@ class BuddyAllocator:
                 self.mem.free_order_mv[pfn] = -1
                 self.nr_free -= 1 << o
                 self.stat.inc(ev.ALLOC_FALLBACK)
+                if _tp_fallback.enabled:
+                    _tp_fallback.emit(pfn=pfn, have_order=o, want_order=order,
+                                      from_mt=int(fb), to_mt=int(mt),
+                                      label=self.label)
                 if should_steal_pageblock(mt, o):
                     block = self.mem.pageblock_of(pfn)
                     if self.pageblocks.get_block(block) != mt:
                         self.move_freepages_block(block, mt)
                         self.stat.inc(ev.PAGEBLOCK_STEAL)
+                        if _tp_steal.enabled:
+                            _tp_steal.emit(block=block, to_mt=int(mt),
+                                           label=self.label)
                     tail_mt = mt
                 else:
                     tail_mt = fb

@@ -17,12 +17,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..telemetry import tracepoint
 from ..units import MAX_ORDER
 from . import vmstat as ev
 from .buddy import BuddyAllocator
 from .handle import HandleRegistry
 from .migrate import MigrationCostModel, can_migrate_sw, move_allocation
 from .physmem import PhysicalMemory
+
+_tp_start = tracepoint("mm.compact.start")
+_tp_finish = tracepoint("mm.compact.finish")
+_tp_migrate = tracepoint("mm.compact.migrate")
 
 
 @dataclass
@@ -34,6 +39,16 @@ class CompactionResult:
     pages_skipped_unmovable: int = 0
     downtime_cycles: int = 0
     blocks_scanned: int = 0
+
+    def snapshot(self) -> dict:
+        """Uniform machine-readable view (Snapshotable protocol)."""
+        return {
+            "satisfied": self.satisfied,
+            "pages_migrated": self.pages_migrated,
+            "pages_skipped_unmovable": self.pages_skipped_unmovable,
+            "downtime_cycles": self.downtime_cycles,
+            "blocks_scanned": self.blocks_scanned,
+        }
 
     def merge(self, other: "CompactionResult") -> None:
         self.satisfied = self.satisfied or other.satisfied
@@ -74,6 +89,8 @@ class Compactor:
         free block of the target order is available afterwards.
         """
         self.stat.inc(ev.COMPACT_RUNS)
+        if _tp_start.enabled:
+            _tp_start.emit(target_order=target_order, label=allocator.label)
         result = CompactionResult()
         mem = self.mem
 
@@ -96,7 +113,7 @@ class Compactor:
                         result.pages_migrated >= max_migrations):
                     result.satisfied = (
                         allocator.largest_free_order() >= target_order)
-                    return result
+                    return self._finish(result)
                 info = mem.allocation_info(src)
                 if not can_migrate_sw(info):
                     result.pages_skipped_unmovable += info.nframes
@@ -114,8 +131,16 @@ class Compactor:
                     self.victim_cores, info.nframes)
                 self.stat.inc(ev.COMPACT_MIGRATED, info.nframes)
                 self.stat.inc(ev.TLB_SHOOTDOWNS)
+                if _tp_migrate.enabled:
+                    _tp_migrate.emit(src=src, dst=dst, frames=info.nframes)
 
         result.satisfied = allocator.largest_free_order() >= target_order
+        return self._finish(result)
+
+    @staticmethod
+    def _finish(result: CompactionResult) -> CompactionResult:
+        if _tp_finish.enabled:
+            _tp_finish.emit(**result.snapshot())
         return result
 
     def _take_free_above(

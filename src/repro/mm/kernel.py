@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ContiguityError, OutOfMemoryError
+from ..telemetry import set_sim_clock, tracepoint
 from ..units import GIGAPAGE_FRAMES, MAX_ORDER, PAGEBLOCK_FRAMES
 from . import vmstat as ev
 from .buddy import BuddyAllocator
@@ -30,6 +31,9 @@ from .physmem import PhysicalMemory
 from .psi import PsiTracker
 from .reclaim import ReclaimLRU, Watermarks
 from .vmstat import VmStat
+
+_tp_oom = tracepoint("mm.kernel.oom")
+_tp_slowpath = tracepoint("mm.kernel.slowpath")
 
 #: Default migrate type per allocation source (callers may override).
 DEFAULT_MIGRATETYPE: dict[AllocSource, MigrateType] = {
@@ -94,6 +98,9 @@ class LinuxKernel:
     def __init__(self, config: KernelConfig | None = None) -> None:
         self.config = config or KernelConfig()
         self.now = 0
+        # Tracepoint timestamps read this kernel's simulated clock
+        # (weakly held; the most recently built kernel wins).
+        set_sim_clock(self)
         self.stat = VmStat()
         self.mem = PhysicalMemory(self.config.mem_bytes)
         self.pageblocks = PageblockTable(self.mem)
@@ -218,6 +225,10 @@ class LinuxKernel:
         compact_budget: int | None = None,
     ) -> int:
         """Direct reclaim, then compaction, then OOM."""
+        if _tp_slowpath.enabled:
+            _tp_slowpath.emit(order=order, mt=int(mt), source=int(source),
+                              label=allocator.label,
+                              nr_free=allocator.nr_free)
         self._record_stall(allocator, self.config.reclaim_stall_ticks)
         self.drain_pcp()
         wm = self._watermarks_for(allocator)
@@ -253,6 +264,9 @@ class LinuxKernel:
                 self._compact_skip_remaining = 1 << self._compact_defer_shift
 
         self._record_stall(allocator, self.config.reclaim_stall_ticks)
+        if _tp_oom.enabled:
+            _tp_oom.emit(order=order, mt=int(mt), label=allocator.label,
+                         nr_free=allocator.nr_free)
         raise OutOfMemoryError(
             f"{self.name}: order-{order} {mt.name} allocation failed "
             f"({allocator.label}: {allocator.nr_free} frames free)")

@@ -14,8 +14,11 @@ from collections import OrderedDict
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from ..telemetry import tracepoint
 from . import vmstat as ev
 from .handle import PageHandle
+
+_tp_reclaim = tracepoint("mm.reclaim.run")
 
 
 @dataclass(frozen=True)
@@ -89,4 +92,7 @@ class ReclaimLRU:
         if freed:
             self._stat.inc(ev.RECLAIM_RUNS)
             self._stat.inc(ev.PAGES_RECLAIMED, freed)
+            if _tp_reclaim.enabled:
+                _tp_reclaim.emit(freed=freed, target=target_frames,
+                                 lru_remaining=len(self._lru))
         return freed

@@ -3,51 +3,30 @@
 Every interesting memory-management event increments a named counter here.
 Benchmarks and tests read these to verify behaviour (e.g. that Contiguitas
 performs zero pageblock steals while Linux performs many).
+
+:class:`VmStat` is a thin facade over the unified telemetry layer's
+:class:`~repro.telemetry.metrics.CounterSet`: it inherits the uniform
+``snapshot()`` / ``merge()`` / ``delta()`` / ``to_jsonl()`` surface (the
+:class:`~repro.telemetry.metrics.Snapshotable` protocol) and adds only
+the event-name constants the kernel modules share.  The sorted
+``items()`` view is cached between ``inc`` calls — tests and reports
+read it far more often than the hot paths bump it.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from collections.abc import Iterator
+from ..telemetry.metrics import CounterSet
 
 
-class VmStat:
-    """A named-event counter with dict-like read access."""
+class VmStat(CounterSet):
+    """A named-event counter with dict-like read access.
 
-    def __init__(self) -> None:
-        self._counts: Counter[str] = Counter()
+    See :class:`~repro.telemetry.metrics.CounterSet` for the full
+    surface; ``delta`` accepts either a previous :meth:`snapshot` dict or
+    another :class:`VmStat` (the form the manifest diff uses).
+    """
 
-    def inc(self, event: str, n: int = 1) -> None:
-        """Add *n* occurrences of *event*."""
-        self._counts[event] += n
-
-    def __getitem__(self, event: str) -> int:
-        return self._counts.get(event, 0)
-
-    def __contains__(self, event: str) -> bool:
-        return event in self._counts
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(self._counts)
-
-    def items(self) -> list[tuple[str, int]]:
-        """All (event, count) pairs, sorted by event name."""
-        return sorted(self._counts.items())
-
-    def snapshot(self) -> dict[str, int]:
-        """A copy of the current counts."""
-        return dict(self._counts)
-
-    def delta(self, since: dict[str, int]) -> dict[str, int]:
-        """Counts accumulated since a previous :meth:`snapshot`."""
-        return {
-            k: v - since.get(k, 0)
-            for k, v in self._counts.items()
-            if v != since.get(k, 0)
-        }
-
-    def reset(self) -> None:
-        self._counts.clear()
+    __slots__ = ()
 
 
 # Event name constants (kept together so tests don't embed string typos).

@@ -17,7 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
+from ..telemetry import tracepoint
 from .params import ArchParams
+
+# One event per completed page walk (TLB probes are far too hot to
+# trace individually; the walk is the interesting, expensive event).
+_tp_walk = tracepoint("sim.tlb.walk")
 
 #: Page-size shifts: 4 KiB, 2 MiB, 1 GiB.
 SHIFT_4K = 12
@@ -124,6 +129,28 @@ class WalkStats:
         total = self.translation_cycles
         return self.walk_cycles / total if total else 0.0
 
+    def snapshot(self) -> dict:
+        """Counters as a plain dict (:class:`~repro.telemetry.Snapshotable`)."""
+        return {
+            "accesses": self.accesses,
+            "l1_hits": self.l1_hits,
+            "l2_hits": self.l2_hits,
+            "walks": self.walks,
+            "walk_cycles": self.walk_cycles,
+            "translation_cycles": self.translation_cycles,
+        }
+
+    def merge(self, other: "WalkStats | dict") -> "WalkStats":
+        """Fold another run's counters into this one (e.g. across cores)."""
+        get = other.get if isinstance(other, dict) else other.snapshot().get
+        self.accesses += get("accesses", 0)
+        self.l1_hits += get("l1_hits", 0)
+        self.l2_hits += get("l2_hits", 0)
+        self.walks += get("walks", 0)
+        self.walk_cycles += get("walk_cycles", 0)
+        self.translation_cycles += get("translation_cycles", 0)
+        return self
+
 
 class TLBHierarchy:
     """One core's L1 TLB + L2 STLB + page-walk caches.
@@ -222,6 +249,9 @@ class TLBHierarchy:
         # Refill the PWCs with the entries this walk traversed.
         for i in range(1, upper + 1):
             self.pwcs[i - 1].fill(vaddr >> (shift + 9 * i))
+        if _tp_walk.enabled:
+            _tp_walk.emit(vpn=vaddr >> shift, shift=shift,
+                          levels=remaining, cycles=cycles)
         return cycles
 
     def invalidate(self, vaddr: int, shift: int) -> int:

@@ -1,0 +1,84 @@
+"""Unified observability layer: tracepoints, metrics, run manifests.
+
+The paper's evaluation hinges on observing *why* memory fragments —
+per-event counts of pageblock steals, compaction scans, migration
+failures, page-walk cycles.  This package is the single home for that
+instrumentation, in the spirit of ftrace tracepoints and collectl-style
+experiment manifests:
+
+* :mod:`repro.telemetry.events` — named :class:`Tracepoint` probes with a
+  near-zero-cost disabled path, typed :class:`TraceEvent` records carrying
+  simulated-time timestamps, and ring-buffer / JSONL sinks;
+* :mod:`repro.telemetry.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, log2-bucket histograms, and scoped timers, all exposing the
+  uniform :class:`Snapshotable` surface (``snapshot()`` / ``merge()`` /
+  ``to_jsonl()``);
+* :mod:`repro.telemetry.manifest` — machine-readable per-run manifests
+  (config, seed, git revision, counter snapshot, bench numbers) and the
+  diffing used by ``repro metrics``;
+* :mod:`repro.telemetry.config` — :class:`TelemetryConfig`, the one knob
+  experiment entry points (``sample_fleet``, benchmarks) accept.
+
+The pre-existing stats surfaces — :class:`repro.mm.vmstat.VmStat`, the
+fleet aggregates, sim-side stats — are thin facades over these
+primitives; see ``docs/OBSERVABILITY.md`` for the tracepoint catalogue
+and manifest schema.
+"""
+
+from .config import TelemetryConfig
+from .events import (
+    TRACEPOINTS,
+    JsonlSink,
+    RingBufferSink,
+    TraceEvent,
+    Tracepoint,
+    TracepointRegistry,
+    read_jsonl,
+    set_sim_clock,
+    tracepoint,
+    tracing,
+)
+from .manifest import (
+    build_manifest,
+    deterministic_view,
+    format_manifest,
+    format_manifest_diff,
+    load_manifest,
+    manifest_diff,
+    write_manifest,
+)
+from .metrics import (
+    CounterSet,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ScopedTimer,
+    Snapshotable,
+)
+
+__all__ = [
+    "TRACEPOINTS",
+    "CounterSet",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "RingBufferSink",
+    "ScopedTimer",
+    "Snapshotable",
+    "TelemetryConfig",
+    "TraceEvent",
+    "Tracepoint",
+    "TracepointRegistry",
+    "build_manifest",
+    "deterministic_view",
+    "format_manifest",
+    "format_manifest_diff",
+    "load_manifest",
+    "manifest_diff",
+    "read_jsonl",
+    "set_sim_clock",
+    "tracepoint",
+    "tracing",
+    "write_manifest",
+]

@@ -1,0 +1,55 @@
+"""TelemetryConfig: the one observability knob experiment entry points take.
+
+Instead of growing ``sample_fleet`` (and each benchmark) a pile of
+positional tracing parameters, callers pass a single validated config::
+
+    from repro.telemetry import TelemetryConfig
+
+    sample_fleet(n_servers=8, telemetry=TelemetryConfig(
+        trace=True, events_path="events.jsonl",
+        manifest_path="manifest.json"))
+
+``None`` (the default everywhere) means telemetry fully off — the
+near-zero-cost path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Observability settings for one run.
+
+    Attributes:
+        trace: enable tracepoints for the duration of the run.
+        trace_patterns: glob patterns selecting which tracepoints fire
+            (default: all).
+        ring_capacity: in-memory ring-buffer size (most recent events).
+        events_path: when set, dump the run's event stream there as
+            JSONL (readable by ``repro trace --input``).
+        manifest_path: when set, write the run manifest JSON there.
+        emit_manifest: build a manifest even without a ``manifest_path``
+            (returned on the result object instead of written).
+    """
+
+    trace: bool = False
+    trace_patterns: tuple[str, ...] = ("*",)
+    ring_capacity: int = 1 << 16
+    events_path: str | None = None
+    manifest_path: str | None = None
+    emit_manifest: bool = True
+
+    def __post_init__(self) -> None:
+        if self.ring_capacity < 1:
+            raise ConfigurationError(
+                f"ring_capacity must be >= 1, got {self.ring_capacity}")
+        if not self.trace_patterns:
+            raise ConfigurationError("trace_patterns must not be empty")
+        if self.events_path is not None and not self.trace:
+            raise ConfigurationError(
+                "events_path requires trace=True (no events are recorded "
+                "with tracing off)")

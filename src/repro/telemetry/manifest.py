@@ -1,0 +1,229 @@
+"""Run manifests: a machine-readable record of one experiment run.
+
+A manifest captures everything needed to reproduce and compare a run:
+the configuration, the seed, the git revision, the kernel counter
+snapshot, and any bench numbers.  ``sample_fleet`` and the perf harness
+emit them as JSON; ``repro metrics`` pretty-prints and diffs them.
+
+Volatile facts (wall-clock timestamps, hostname, worker count) live in a
+dedicated ``volatile`` section so that :func:`deterministic_view` — the
+part that must be bit-identical across worker counts and machines — is
+just the manifest minus that one key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+
+#: Manifest schema version; bump on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+_GIT_REV_CACHE: str | None = None
+
+
+def git_rev() -> str:
+    """The repo's short git revision, or ``"unknown"`` outside a repo."""
+    global _GIT_REV_CACHE
+    if _GIT_REV_CACHE is None:
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+                capture_output=True, text=True, timeout=5)
+            _GIT_REV_CACHE = (out.stdout.strip()
+                              if out.returncode == 0 and out.stdout.strip()
+                              else "unknown")
+        except (OSError, subprocess.SubprocessError):
+            _GIT_REV_CACHE = "unknown"
+    return _GIT_REV_CACHE
+
+
+def build_manifest(
+    kind: str,
+    config: dict | None = None,
+    seed: int | None = None,
+    counters: dict | None = None,
+    metrics: dict | None = None,
+    bench: dict | None = None,
+    aggregates: dict | None = None,
+    volatile: dict | None = None,
+) -> dict:
+    """Assemble a manifest dict.
+
+    Args:
+        kind: what ran (``"fleet"``, ``"perf"``, ``"steady"``, ...).
+        config: the run's configuration, already JSON-serialisable.
+        seed: base RNG seed.
+        counters: kernel event-counter snapshot (name -> count).
+        metrics: a :meth:`MetricsRegistry.snapshot` dict.
+        bench: benchmark numbers (name -> result row).
+        aggregates: derived summary numbers (fractions, correlations).
+        volatile: extra non-deterministic facts (durations, worker
+            counts); merged into the ``volatile`` section.
+    """
+    manifest = {
+        "schema": SCHEMA_VERSION,
+        "kind": kind,
+        "git_rev": git_rev(),
+        "seed": seed,
+        "config": config or {},
+        "counters": dict(sorted((counters or {}).items())),
+        "aggregates": aggregates or {},
+        "bench": bench or {},
+        "metrics": metrics or {},
+        "volatile": {
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "host": platform.node(),
+            "python": platform.python_version(),
+            **(volatile or {}),
+        },
+    }
+    return manifest
+
+
+def deterministic_view(manifest: dict) -> dict:
+    """The manifest minus its ``volatile`` section — the part that must
+    be identical for identical (config, seed) runs at any worker count."""
+    return {k: v for k, v in manifest.items() if k != "volatile"}
+
+
+def write_manifest(path, manifest: dict) -> str:
+    path = str(path)
+    with open(path, "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_manifest(path) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def manifest_diff(a: dict, b: dict) -> dict:
+    """Structured diff of two manifests (B relative to A).
+
+    Returns ``{"meta": ..., "counters": ..., "aggregates": ...,
+    "bench": ...}`` where each counter row carries (a, b, delta) and
+    each bench row carries the ops/sec ratio.
+    """
+    meta = {
+        key: {"a": a.get(key), "b": b.get(key)}
+        for key in ("kind", "git_rev", "seed")
+        if a.get(key) != b.get(key)
+    }
+
+    counters = {}
+    ca, cb = a.get("counters", {}), b.get("counters", {})
+    for name in sorted(set(ca) | set(cb)):
+        va, vb = ca.get(name, 0), cb.get(name, 0)
+        if va != vb:
+            counters[name] = {"a": va, "b": vb, "delta": vb - va}
+
+    aggregates = {}
+    ga, gb = a.get("aggregates", {}), b.get("aggregates", {})
+    for name in sorted(set(ga) | set(gb)):
+        va, vb = ga.get(name), gb.get(name)
+        if va != vb:
+            aggregates[name] = {"a": va, "b": vb}
+
+    bench = {}
+    ba, bb = a.get("bench", {}), b.get("bench", {})
+    for name in sorted(set(ba) | set(bb)):
+        ra, rb = ba.get(name), bb.get(name)
+        if ra is None or rb is None:
+            bench[name] = {"a": ra, "b": rb}
+            continue
+        opa = ra.get("ops_per_sec")
+        opb = rb.get("ops_per_sec")
+        row = {"a": opa, "b": opb}
+        if opa and opb:
+            row["ratio"] = round(opb / opa, 4)
+        if row["a"] != row["b"] or "ratio" in row:
+            bench[name] = row
+
+    return {"meta": meta, "counters": counters,
+            "aggregates": aggregates, "bench": bench}
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def format_manifest(manifest: dict) -> str:
+    """Human-readable one-manifest summary (``repro metrics A.json``)."""
+    from ..analysis.reporting import format_table
+
+    lines = [
+        f"kind: {manifest.get('kind')}   seed: {manifest.get('seed')}   "
+        f"git: {manifest.get('git_rev')}   "
+        f"schema: {manifest.get('schema')}",
+    ]
+    config = manifest.get("config", {})
+    if config:
+        lines.append("")
+        lines.append(format_table(
+            ["Config", "Value"],
+            [(k, _fmt(v)) for k, v in sorted(config.items())]))
+    counters = manifest.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append(format_table(
+            ["Counter", "Count"],
+            [(k, f"{v:,}") for k, v in sorted(counters.items())]))
+    aggregates = manifest.get("aggregates", {})
+    if aggregates:
+        lines.append("")
+        lines.append(format_table(
+            ["Aggregate", "Value"],
+            [(k, _fmt(v)) for k, v in sorted(aggregates.items())]))
+    bench = manifest.get("bench", {})
+    if bench:
+        lines.append("")
+        lines.append(format_table(
+            ["Bench", "ops/s"],
+            [(k, _fmt(v.get("ops_per_sec", "-")))
+             for k, v in sorted(bench.items())]))
+    return "\n".join(lines)
+
+
+def format_manifest_diff(diff: dict) -> str:
+    """Render :func:`manifest_diff` output as aligned tables."""
+    from ..analysis.reporting import format_table
+
+    lines = []
+    if diff["meta"]:
+        lines.append(format_table(
+            ["Meta", "A", "B"],
+            [(k, _fmt(v["a"]), _fmt(v["b"]))
+             for k, v in diff["meta"].items()],
+            title="Run identity"))
+    if diff["counters"]:
+        lines.append(format_table(
+            ["Counter", "A", "B", "Delta"],
+            [(k, f"{v['a']:,}", f"{v['b']:,}", f"{v['delta']:+,}")
+             for k, v in diff["counters"].items()],
+            title="Counter deltas"))
+    if diff["aggregates"]:
+        lines.append(format_table(
+            ["Aggregate", "A", "B"],
+            [(k, _fmt(v["a"]), _fmt(v["b"]))
+             for k, v in diff["aggregates"].items()],
+            title="Aggregate changes"))
+    if diff["bench"]:
+        rows = []
+        for k, v in diff["bench"].items():
+            ratio = v.get("ratio")
+            rows.append((k, _fmt(v.get("a")), _fmt(v.get("b")),
+                         f"{ratio:.3f}x" if ratio else "-"))
+        lines.append(format_table(["Bench", "A ops/s", "B ops/s", "B/A"],
+                                  rows, title="Bench deltas"))
+    if not lines:
+        return "manifests are identical (ignoring volatile fields)"
+    return "\n\n".join(lines)

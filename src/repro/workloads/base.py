@@ -26,7 +26,12 @@ from ..kalloc.slab import SlabAllocator
 from ..mm.handle import PageHandle
 from ..mm.page import AllocSource, MigrateType
 from ..sim.trace import TraceSpec
+from ..telemetry import tracepoint
 from ..units import GIGAPAGE_FRAMES, PAGEBLOCK_FRAMES
+
+# One event per churn interval — the anchor for correlating kernel-side
+# trace streams (steals, compaction) with workload phase.
+_tp_step = tracepoint("workload.step")
 
 
 @dataclass(frozen=True)
@@ -305,6 +310,9 @@ class Workload:
         self._spawn_poisson(spec.pagetable_rate_per_gib, self._spawn_pt)
         self._spawn_poisson(spec.cache_churn_per_gib, self._spawn_cache)
         self.kernel.advance(ticks)
+        if _tp_step.enabled:
+            _tp_step.emit(step=self.steps, traffic=round(self._traffic, 4),
+                          cache_frames=self._cache_frames)
 
     def _spawn_poisson(self, rate_per_gib: float, fn) -> None:
         expected = rate_per_gib * self._scale

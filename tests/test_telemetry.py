@@ -1,0 +1,493 @@
+"""Unified telemetry: tracepoints, metrics registry, manifests, CLI verbs."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    TRACEPOINTS,
+    CounterSet,
+    Gauge,
+    Histogram,
+    JsonlSink,
+    MetricsRegistry,
+    RingBufferSink,
+    Snapshotable,
+    TelemetryConfig,
+    TraceEvent,
+    TracepointRegistry,
+    build_manifest,
+    deterministic_view,
+    load_manifest,
+    manifest_diff,
+    read_jsonl,
+    tracepoint,
+    tracing,
+    write_manifest,
+)
+from repro.telemetry.metrics import HIST_BUCKETS
+
+
+class _BoomSink:
+    """Proves disabled tracepoints never reach the sink layer."""
+
+    def append(self, event):
+        raise AssertionError("sink touched while tracepoint disabled")
+
+
+class TestTracepoints:
+    def test_disabled_is_default_and_reaches_no_sink(self):
+        reg = TracepointRegistry()
+        tp = reg.tracepoint("t.x")
+        reg.attach(_BoomSink())
+        assert tp.enabled is False
+        tp.emit(a=1)  # must not raise: emit re-checks the flag
+
+    def test_enabled_emit_records_fields_and_name(self):
+        reg = TracepointRegistry()
+        tp = reg.tracepoint("t.x")
+        sink = RingBufferSink()
+        reg.attach(sink)
+        reg.enable("t.*")
+        tp.emit(a=1, b="two")
+        (event,) = sink.events()
+        assert event.name == "t.x"
+        assert event.fields == {"a": 1, "b": "two"}
+
+    def test_declare_is_idempotent(self):
+        reg = TracepointRegistry()
+        assert reg.tracepoint("t.x") is reg.tracepoint("t.x")
+
+    def test_enable_glob_returns_sorted_hits(self):
+        reg = TracepointRegistry()
+        for name in ("mm.alloc", "mm.free", "fleet.done"):
+            reg.tracepoint(name)
+        assert reg.enable("mm.*") == ["mm.alloc", "mm.free"]
+        assert reg.enabled_names() == ["mm.alloc", "mm.free"]
+        reg.disable_all()
+        assert reg.enabled_names() == []
+
+    def test_sim_clock_stamps_events(self):
+        class FakeKernel:
+            now = 1234
+
+        reg = TracepointRegistry()
+        tp = reg.tracepoint("t.x")
+        sink = RingBufferSink()
+        reg.attach(sink)
+        reg.enable()
+        clock = FakeKernel()
+        reg.set_clock(clock)
+        tp.emit(a=1)
+        tp.emit(ts=9, a=2)  # explicit ts wins
+        assert [e.ts for e in sink.events()] == [1234, 9]
+
+    def test_clock_is_weak(self):
+        class FakeKernel:
+            now = 7
+
+        reg = TracepointRegistry()
+        reg.set_clock(FakeKernel())  # dies immediately
+        assert reg.now() == 0
+
+    def test_tracing_restores_state_and_detaches_sink(self):
+        reg = TracepointRegistry()
+        a = reg.tracepoint("a")
+        b = reg.tracepoint("b")
+        b.enabled = True
+        with tracing("a", registry=reg) as sink:
+            assert a.enabled and b.enabled
+            a.emit(x=1)
+        assert a.enabled is False
+        assert b.enabled is True
+        assert sink not in reg.sinks
+        assert len(sink.events()) == 1
+
+    def test_global_instrumentation_is_registered(self):
+        # Probes register at import time; pull in the instrumented layers.
+        import repro.fleet.engine  # noqa: F401
+        import repro.kalloc.slab  # noqa: F401
+        import repro.mm.kernel  # noqa: F401
+        import repro.sim.tlb  # noqa: F401
+
+        for name in ("mm.buddy.alloc", "mm.compact.finish",
+                     "mm.reclaim.run", "kalloc.slab.grow",
+                     "sim.tlb.walk", "fleet.run.finish"):
+            assert TRACEPOINTS.get(name) is not None, name
+
+
+class TestSinks:
+    def test_ring_capacity_and_dropped(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(5):
+            sink.append(TraceEvent("t", i))
+        assert len(sink) == 3
+        assert sink.appended == 5
+        assert sink.dropped == 2
+        assert [e.ts for e in sink.events()] == [2, 3, 4]
+
+    def test_ring_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            RingBufferSink(capacity=0)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        events = [TraceEvent("t.a", 5, {"pfn": 10, "label": "z"}),
+                  TraceEvent("t.b", 6, {})]
+        with JsonlSink(path) as sink:
+            for e in events:
+                sink.append(e)
+        assert sink.written == 2
+        assert read_jsonl(path) == events
+
+    def test_ring_to_jsonl_matches_event_json(self):
+        sink = RingBufferSink()
+        sink.append(TraceEvent("t", 1, {"k": 2}))
+        line = sink.to_jsonl().strip()
+        assert TraceEvent.from_json(line) == TraceEvent("t", 1, {"k": 2})
+
+
+class TestCounterSet:
+    def test_items_sorted_and_cached(self):
+        c = CounterSet()
+        c.inc("b")
+        c.inc("a", 2)
+        first = c.items()
+        assert first == [("a", 2), ("b", 1)]
+        assert c.items() is first          # cache hit, no re-sort
+        c.inc("c")
+        assert c.items() is not first      # inc invalidates
+        assert c.items() == [("a", 2), ("b", 1), ("c", 1)]
+
+    def test_merge_accepts_counterset_and_dict(self):
+        c = CounterSet({"a": 1})
+        c.merge(CounterSet({"a": 2, "b": 3}))
+        c.merge({"b": 1})
+        assert c.snapshot() == {"a": 3, "b": 4}
+
+    def test_delta_only_changed_events(self):
+        before = CounterSet({"a": 1, "b": 2})
+        after = CounterSet({"a": 4, "b": 2, "c": 1})
+        assert after.delta(before) == {"a": 3, "c": 1}
+        assert after.delta(before.snapshot()) == {"a": 3, "c": 1}
+
+    def test_vmstat_is_a_counterset_facade(self):
+        from repro.mm.vmstat import VmStat
+
+        v = VmStat()
+        v.inc("alloc_success", 3)
+        assert isinstance(v, CounterSet)
+        assert isinstance(v, Snapshotable)
+        other = VmStat()
+        other.inc("alloc_success")
+        assert v.delta(other) == {"alloc_success": 2}
+
+    def test_to_jsonl(self):
+        c = CounterSet({"b": 2, "a": 1})
+        lines = [json.loads(line) for line in c.to_jsonl().splitlines()]
+        assert lines == [{"counter": "a", "value": 1},
+                         {"counter": "b", "value": 2}]
+
+
+class TestHistogram:
+    def test_bucket_edges(self):
+        h = Histogram()
+        # bucket 0: v < 1; bucket i: [2**(i-1), 2**i)
+        assert h.bucket_index(0) == 0
+        assert h.bucket_index(0.99) == 0
+        assert h.bucket_index(1) == 1
+        assert h.bucket_index(2) == 2
+        assert h.bucket_index(3) == 2
+        assert h.bucket_index(4) == 3
+        assert h.bucket_index(2**62) == HIST_BUCKETS - 1
+        assert h.bucket_index(2**100) == HIST_BUCKETS - 1
+
+    def test_bucket_bounds_contain_their_values(self):
+        for v in (1, 2, 3, 7, 8, 1000, 2**40):
+            lo, hi = Histogram.bucket_bounds(Histogram.bucket_index(v))
+            assert lo <= v < hi
+
+    def test_observe_snapshot_and_mean(self):
+        h = Histogram()
+        for v in (1, 2, 3, 10):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["total"] == 16
+        assert snap["buckets"] == {"1": 1, "2": 2, "8": 1}
+        assert h.mean == 4.0
+
+    def test_merge_is_exact_elementwise(self):
+        a, b = Histogram(), Histogram()
+        a.observe(5)
+        b.observe(5)
+        b.observe(100)
+        a.merge(b)
+        assert a.count == 3
+        assert a.snapshot()["buckets"] == {"4": 2, "64": 1}
+
+    def test_percentile_upper_edge(self):
+        h = Histogram()
+        for _ in range(99):
+            h.observe(3)       # bucket [2, 4)
+        h.observe(1000)        # bucket [512, 1024)
+        assert h.percentile(50) == 4.0
+        assert h.percentile(100) == 1024.0
+        with pytest.raises(ConfigurationError):
+            h.percentile(101)
+
+
+class TestMetricsRegistry:
+    def test_snapshot_shape(self):
+        m = MetricsRegistry()
+        m.inc("ev", 2)
+        m.gauge("g").set(1.5)
+        m.histogram("h").observe(4)
+        snap = m.snapshot()
+        assert snap["counters"] == {"ev": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_timer_records_histogram_and_gauge(self):
+        m = MetricsRegistry()
+        with m.timer("phase"):
+            pass
+        assert m.histogram("phase").count == 1
+        assert m.gauge("phase.seconds").value >= 0
+
+    def test_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("ev")
+        b.inc("ev", 2)
+        b.gauge("g").set(-9)
+        a.gauge("g").set(2)
+        b.histogram("h").observe(1)
+        a.merge(b)
+        assert a.counters["ev"] == 3
+        assert a.gauge("g").value == -9   # larger magnitude wins
+        assert a.histogram("h").count == 1
+
+    def test_gauge_merge_keeps_larger_magnitude(self):
+        g = Gauge(3)
+        g.merge(Gauge(-1))
+        assert g.value == 3
+
+    def test_protocol_instances(self):
+        from repro.fleet import FleetSample
+        from repro.sim.tlb import WalkStats
+
+        for obj in (CounterSet(), MetricsRegistry(), WalkStats(),
+                    FleetSample(scans=[])):
+            assert isinstance(obj, Snapshotable), type(obj)
+
+
+class TestWalkStats:
+    def test_snapshot_merge(self):
+        from repro.sim.tlb import WalkStats
+
+        a = WalkStats(accesses=2, walks=1, walk_cycles=10,
+                      translation_cycles=20)
+        b = WalkStats(accesses=3, l1_hits=2, walks=1, walk_cycles=5,
+                      translation_cycles=10)
+        a.merge(b)
+        assert a.snapshot() == {
+            "accesses": 5, "l1_hits": 2, "l2_hits": 0, "walks": 2,
+            "walk_cycles": 15, "translation_cycles": 30,
+        }
+
+
+class TestTelemetryConfig:
+    def test_defaults_valid(self):
+        cfg = TelemetryConfig()
+        assert cfg.trace is False
+
+    def test_ring_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryConfig(ring_capacity=0)
+
+    def test_empty_patterns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryConfig(trace_patterns=())
+
+    def test_events_path_requires_trace(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryConfig(events_path="x.jsonl")
+
+
+class TestWorkerEnvValidation:
+    def test_non_integer_env_rejected(self, monkeypatch):
+        from repro.fleet.engine import WORKERS_ENV, resolve_workers
+
+        monkeypatch.setenv(WORKERS_ENV, "four")
+        with pytest.raises(ConfigurationError, match="not an integer"):
+            resolve_workers(None)
+
+    def test_negative_env_rejected(self, monkeypatch):
+        from repro.fleet.engine import WORKERS_ENV, resolve_workers
+
+        monkeypatch.setenv(WORKERS_ENV, "-2")
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            resolve_workers(None)
+
+
+class TestManifests:
+    def test_round_trip(self, tmp_path):
+        m = build_manifest(kind="test", config={"n": 1}, seed=3,
+                           counters={"a": 1})
+        path = write_manifest(tmp_path / "m.json", m)
+        assert load_manifest(path) == m
+
+    def test_deterministic_view_drops_volatile(self):
+        m = build_manifest(kind="test", volatile={"workers": 4})
+        assert "volatile" not in deterministic_view(m)
+        assert m["volatile"]["workers"] == 4
+
+    def test_diff_counters_and_bench(self):
+        a = build_manifest(kind="t", counters={"x": 1, "same": 5},
+                           bench={"b": {"ops_per_sec": 100.0}})
+        b = build_manifest(kind="t", counters={"x": 4, "same": 5},
+                           bench={"b": {"ops_per_sec": 50.0}})
+        d = manifest_diff(a, b)
+        assert d["counters"] == {"x": {"a": 1, "b": 4, "delta": 3}}
+        assert d["bench"]["b"]["ratio"] == 0.5
+
+
+FLEET_KW = dict(n_servers=3, base_seed=11)
+
+
+def _small_config():
+    from repro.fleet import ServerConfig
+    from repro.units import MiB
+
+    return ServerConfig(mem_bytes=MiB(64), min_uptime_steps=20,
+                        max_uptime_steps=60)
+
+
+class TestFleetTelemetry:
+    def test_manifest_deterministic_across_worker_counts(self):
+        from repro.fleet import sample_fleet
+
+        cfg = _small_config()
+        serial = sample_fleet(config=cfg, workers=1,
+                              telemetry=TelemetryConfig(), **FLEET_KW)
+        parallel = sample_fleet(config=cfg, workers=4,
+                                telemetry=TelemetryConfig(), **FLEET_KW)
+        assert serial.scans == parallel.scans
+        assert deterministic_view(serial.manifest) == \
+            deterministic_view(parallel.manifest)
+        assert serial.manifest["counters"]["alloc_success"] > 0
+
+    def test_tracing_produces_jsonl_and_manifest(self, tmp_path):
+        from repro.fleet import sample_fleet
+
+        events_path = tmp_path / "events.jsonl"
+        manifest_path = tmp_path / "run.json"
+        sample = sample_fleet(
+            config=_small_config(), workers=1,
+            telemetry=TelemetryConfig(trace=True,
+                                      events_path=str(events_path),
+                                      manifest_path=str(manifest_path)),
+            **FLEET_KW)
+        events = read_jsonl(events_path)
+        names = {e.name for e in events}
+        assert "fleet.run.start" in names
+        assert "mm.buddy.alloc" in names
+        manifest = load_manifest(manifest_path)
+        assert manifest == sample.manifest
+        assert manifest["kind"] == "fleet"
+        # Traced and untraced runs produce identical scans (tracing is
+        # observation, not perturbation).
+        plain = sample_fleet(config=_small_config(), workers=1, **FLEET_KW)
+        assert plain.scans == sample.scans
+
+    def test_deprecated_accessors_warn_and_delegate(self):
+        from repro.fleet import sample_fleet
+
+        sample = sample_fleet(config=_small_config(), workers=1, **FLEET_KW)
+        with pytest.warns(DeprecationWarning):
+            legacy = sample.contiguity_values("2MB")
+        assert legacy == sample.series("contiguity", "2MB")
+        with pytest.warns(DeprecationWarning):
+            legacy = sample.unmovable_values("2MB")
+        assert legacy == sample.series("unmovable", "2MB")
+        with pytest.raises(ConfigurationError):
+            sample.series("nope", "2MB")
+
+
+class TestCliVerbs:
+    def _write_stream(self, path):
+        events = [TraceEvent("mm.buddy.alloc", 1, {"pfn": 5, "order": 0}),
+                  TraceEvent("mm.compact.start", 2, {"target_order": 9}),
+                  TraceEvent("mm.buddy.free", 3, {"pfn": 5, "order": 0})]
+        with JsonlSink(path) as sink:
+            for e in events:
+                sink.append(e)
+
+    def test_trace_filters_input_stream(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "ev.jsonl"
+        self._write_stream(path)
+        main(["trace", "--input", str(path), "--match", "mm.buddy.*"])
+        out = capsys.readouterr().out
+        assert out.splitlines() == [
+            "         1  mm.buddy.alloc           order=0 pfn=5",
+            "         3  mm.buddy.free            order=0 pfn=5",
+        ]
+
+    def test_trace_out_rewrites_jsonl(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = tmp_path / "ev.jsonl"
+        dst = tmp_path / "filtered.jsonl"
+        self._write_stream(src)
+        main(["trace", "--input", str(src), "--match", "mm.compact.*",
+              "--out", str(dst)])
+        assert read_jsonl(dst) == [
+            TraceEvent("mm.compact.start", 2, {"target_order": 9})]
+
+    def test_metrics_single_manifest(self, tmp_path, capsys):
+        from repro.cli import main
+
+        m = build_manifest(kind="fleet", seed=7, config={"n_servers": 2},
+                           counters={"alloc_success": 10})
+        path = write_manifest(tmp_path / "m.json", m)
+        main(["metrics", path])
+        out = capsys.readouterr().out
+        assert "kind: fleet" in out
+        assert "seed: 7" in out
+        assert "alloc_success" in out
+
+    def test_metrics_diff(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = build_manifest(kind="fleet", seed=1, counters={"x": 1})
+        b = build_manifest(kind="fleet", seed=2, counters={"x": 3})
+        pa = write_manifest(tmp_path / "a.json", a)
+        pb = write_manifest(tmp_path / "b.json", b)
+        main(["metrics", pa, pb])
+        out = capsys.readouterr().out
+        assert "Counter deltas" in out
+        assert "+2" in out
+
+    def test_metrics_identical_manifests(self, tmp_path, capsys):
+        from repro.cli import main
+
+        m = build_manifest(kind="fleet", seed=1, counters={"x": 1})
+        pa = write_manifest(tmp_path / "a.json", m)
+        main(["metrics", pa, pa])
+        assert "identical" in capsys.readouterr().out
+
+    def test_fleet_verb_writes_artifacts(self, tmp_path, capsys):
+        from repro.cli import main
+
+        events = tmp_path / "ev.jsonl"
+        manifest = tmp_path / "run.json"
+        main(["fleet", "--servers", "2", "--mem-mib", "64",
+              "--workers", "1", "--events", str(events),
+              "--manifest", str(manifest)])
+        out = capsys.readouterr().out
+        assert "Fleet survey" in out
+        assert load_manifest(manifest)["kind"] == "fleet"
+        assert len(read_jsonl(events)) > 0

@@ -58,7 +58,8 @@ class TestCli:
         # argparse stores subparser choices on the last action.
         sub = parser._subparsers._group_actions[0]
         assert set(sub.choices) == {"fig13", "walk", "steady", "fleet",
-                                    "hwcost", "interference", "autotune"}
+                                    "hwcost", "interference", "autotune",
+                                    "trace", "metrics"}
 
     def test_interference_runs(self, capsys):
         main(["interference", "--rate", "500"])
