@@ -1,4 +1,10 @@
-"""Measurement and reporting: contiguity scans, HW cost, table rendering."""
+"""Measurement, reporting, and correctness tooling.
+
+Contiguity scans, the HW cost model, and table rendering reproduce the
+paper's measurements; :mod:`~repro.analysis.simlint` (static analysis)
+and :mod:`~repro.analysis.sanitizer` (runtime frame-state checking) keep
+the simulator itself honest — see ``docs/ANALYSIS.md``.
+"""
 
 from .contiguity import (
     SCAN_GRANULARITIES,
@@ -17,20 +23,33 @@ from .hwcost import (
     migrations_per_second_capacity,
 )
 from .reporting import format_cdf, format_table, percent
+from .sanitizer import (
+    FrameSanitizer,
+    debug_vm_enabled,
+    verify_allocator,
+    verify_kernel,
+)
+from .simlint import Finding, lint_file, lint_paths, lint_source
 from .snapshot import MemorySnapshot, load_snapshot, save_snapshot
 from .timeline import TimelineRecorder, watch_kernel
 
 __all__ = [
+    "Finding",
+    "FrameSanitizer",
     "MemorySnapshot",
     "MetadataTableCost",
     "SCAN_GRANULARITIES",
     "SramCostModel",
     "TimelineRecorder",
     "contiguity_report",
+    "debug_vm_enabled",
     "format_cdf",
     "format_table",
     "free_block_count",
     "free_contiguity",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
     "migrations_per_second_capacity",
     "movable_potential",
     "percent",
@@ -40,5 +59,7 @@ __all__ = [
     "load_snapshot",
     "save_snapshot",
     "unmovable_report",
+    "verify_allocator",
+    "verify_kernel",
     "watch_kernel",
 ]

@@ -1,0 +1,243 @@
+"""simlint engine: file contexts, disable comments, runners, renderers.
+
+The engine is rule-agnostic: it parses each file once, annotates the AST
+with parent links, extracts ``# simlint: disable=`` allowlists from the
+source, runs every rule, and filters suppressed findings.  Rules live in
+:mod:`repro.analysis.simlint.rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+#: Directory names never descended into when walking a tree.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+_DISABLE_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+)")
+_DISABLE_FILE_RE = re.compile(
+    r"^\s*#\s*simlint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One structured lint finding."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "message": self.message}
+
+
+def _parse_codes(raw: str) -> set[str]:
+    return {c.strip().upper() for c in raw.split(",") if c.strip()}
+
+
+class FileContext:
+    """Everything a rule needs about one source file.
+
+    Attributes:
+        path: the file path as given.
+        source: full source text.
+        tree: parsed AST; every node carries a ``_simlint_parent`` link.
+        lines: source split into lines (1-indexed via ``lines[i - 1]``).
+    """
+
+    def __init__(self, source: str, path: str) -> None:
+        self.path = str(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=self.path)
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                child._simlint_parent = node
+        # Directory components of the path, for subsystem scoping.  The
+        # file's own name is excluded so ``fleet.py`` is not "in fleet".
+        norm = os.path.normpath(self.path).replace(os.sep, "/")
+        self._dir_parts = set(norm.split("/")[:-1])
+        self.filename = norm.rsplit("/", 1)[-1]
+
+        self.line_disables: dict[int, set[str]] = {}
+        self.file_disables: set[str] = set()
+        for lineno, line in enumerate(self.lines, start=1):
+            m = _DISABLE_FILE_RE.match(line)
+            if m:
+                self.file_disables |= _parse_codes(m.group(1))
+                continue
+            m = _DISABLE_RE.search(line)
+            if m:
+                self.line_disables[lineno] = _parse_codes(m.group(1))
+
+    # -- helpers for rules ----------------------------------------------
+
+    def in_subsystem(self, *names: str) -> bool:
+        """Whether the file sits under any of the named directories."""
+        return bool(self._dir_parts & set(names))
+
+    def is_test_file(self) -> bool:
+        return (self.filename.startswith("test_")
+                or self.filename == "conftest.py"
+                or "tests" in self._dir_parts)
+
+    def parents(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Ancestors of *node*, innermost first."""
+        while True:
+            node = getattr(node, "_simlint_parent", None)
+            if node is None:
+                return
+            yield node
+
+    def at_module_level(self, node: ast.AST) -> bool:
+        """True when *node* executes at import time (no enclosing
+        function); class bodies count as module level."""
+        return not any(
+            isinstance(p, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+            for p in self.parents(node))
+
+    def suppressed(self, finding: Finding) -> bool:
+        codes = self.line_disables.get(finding.line, ())
+        return (finding.rule in codes or "ALL" in codes
+                or finding.rule in self.file_disables
+                or "ALL" in self.file_disables)
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        return Finding(path=self.path, line=node.lineno,
+                       col=node.col_offset, rule=rule, message=message)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render a ``Name``/``Attribute`` chain as ``"a.b.c"``; None when
+    the chain contains anything else (calls, subscripts, ...)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def import_aliases(tree: ast.AST, modules: tuple[str, ...]) -> dict[str, str]:
+    """Map local names to the fully qualified names they import.
+
+    Covers ``import M``, ``import M as a``, and ``from M import x as y``
+    for every module name in *modules* (e.g. ``("time", "datetime")``).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in modules:
+                    aliases[alias.asname or alias.name] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module in modules:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}")
+    return aliases
+
+
+def resolve_call(call: ast.Call, aliases: dict[str, str]) -> str | None:
+    """The fully qualified dotted name a call targets, expanding the
+    chain's root through *aliases*; None when unresolvable."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    root, _, rest = name.partition(".")
+    expanded = aliases.get(root)
+    if expanded is None:
+        return name
+    return f"{expanded}.{rest}" if rest else expanded
+
+
+# ---------------------------------------------------------------------------
+# Runners
+# ---------------------------------------------------------------------------
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Iterable | None = None) -> list[Finding]:
+    """Lint one source string; returns sorted, unsuppressed findings.
+
+    A syntactically invalid file yields a single ``SL000`` parse-error
+    finding rather than raising.
+    """
+    if rules is None:
+        from .rules import DEFAULT_RULES
+
+        rules = DEFAULT_RULES
+    try:
+        ctx = FileContext(source, path)
+    except SyntaxError as exc:
+        return [Finding(path=str(path), line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1, rule="SL000",
+                        message=f"syntax error: {exc.msg}")]
+    findings = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_file(path, rules: Iterable | None = None) -> list[Finding]:
+    with open(path, encoding="utf-8") as fh:
+        return lint_source(fh.read(), str(path), rules)
+
+
+def iter_python_files(paths: Iterable) -> Iterator[str]:
+    """Expand files and directories into a sorted stream of ``.py``
+    paths (deterministic walk order, skip caches)."""
+    for path in paths:
+        path = str(path)
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames
+                                     if d not in _SKIP_DIRS)
+                for fn in sorted(filenames):
+                    if fn.endswith(".py"):
+                        yield os.path.join(dirpath, fn)
+        else:
+            yield path
+
+
+def lint_paths(paths: Iterable, rules: Iterable | None = None) -> list[Finding]:
+    """Lint every ``.py`` file under *paths* (files or directories)."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules))
+    return sorted(findings)
+
+
+# ---------------------------------------------------------------------------
+# Renderers
+# ---------------------------------------------------------------------------
+
+
+def render_text(findings: list[Finding]) -> str:
+    """Compiler-style one-line-per-finding text plus a summary line."""
+    lines = [f.format() for f in findings]
+    n = len(findings)
+    lines.append("simlint: clean" if not n else
+                 f"simlint: {n} finding{'s' if n != 1 else ''}")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    """Machine-readable rendering: ``{"findings": [...], "count": N}``."""
+    return json.dumps(
+        {"findings": [f.to_dict() for f in findings],
+         "count": len(findings)},
+        indent=2, sort_keys=True)

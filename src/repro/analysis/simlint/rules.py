@@ -1,0 +1,358 @@
+"""The simlint rule catalogue (SL001–SL007).
+
+Each rule is a small class with a ``check(ctx)`` generator yielding
+:class:`~repro.analysis.simlint.core.Finding` objects.  Rules encode the
+repository's own correctness contracts; they are deliberately repo-
+specific, not general Python style checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .core import FileContext, Finding, dotted_name, import_aliases, resolve_call
+
+#: Subsystems that must run on simulated time only (SL001).
+SIM_TIME_SUBSYSTEMS = ("mm", "sim", "kalloc", "fleet")
+
+#: Subsystems whose outputs must not depend on set iteration order
+#: (SL006) — they feed manifests, reports, and JSONL streams that must
+#: be bit-identical across runs and worker counts.
+ORDERED_OUTPUT_SUBSYSTEMS = ("fleet", "telemetry")
+
+#: Deprecated API -> replacement (SL007); the shims themselves live in
+#: repro.fleet.sampler and warn at runtime, this rule refuses new call
+#: sites at review time.
+DEPRECATED_APIS = {
+    "contiguity_values": "FleetSample.series('contiguity', granularity)",
+    "unmovable_values": "FleetSample.series('unmovable', granularity)",
+}
+
+
+class Rule:
+    """Base class: subclasses set ``code``/``title`` and implement
+    :meth:`check`."""
+
+    code = "SL000"
+    title = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST,
+                message: str) -> Finding:
+        return ctx.finding(node, self.code, message)
+
+
+class WallClockRule(Rule):
+    """SL001: no wall-clock reads in sim-time subsystems.
+
+    Simulation results must be a pure function of (config, seed); a
+    wall-clock read anywhere in ``mm``/``sim``/``kalloc``/``fleet``
+    breaks replayability.  ``time.perf_counter`` is exempt — measuring a
+    *duration* for volatile telemetry is legitimate and is how the fleet
+    engine reports phase timings.
+    """
+
+    code = "SL001"
+    title = "no wall-clock time in sim-time subsystems"
+
+    BANNED = {
+        "time.time": "wall-clock",
+        "time.time_ns": "wall-clock",
+        "time.monotonic": "wall-clock",
+        "time.monotonic_ns": "wall-clock",
+        "time.localtime": "wall-clock",
+        "time.gmtime": "wall-clock",
+        "time.strftime": "wall-clock",
+        "datetime.datetime.now": "wall-clock",
+        "datetime.datetime.utcnow": "wall-clock",
+        "datetime.datetime.today": "wall-clock",
+        "datetime.date.today": "wall-clock",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_subsystem(*SIM_TIME_SUBSYSTEMS):
+            return
+        aliases = import_aliases(ctx.tree, ("time", "datetime"))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call(node, aliases)
+            if name in self.BANNED:
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() reads the wall clock in a sim-time "
+                    f"subsystem; use kernel ticks / sim time "
+                    f"(perf_counter durations for telemetry are exempt)")
+
+
+class SeededRandomRule(Rule):
+    """SL002: randomness must flow through an injected seeded Random.
+
+    The module-global RNG (``random.random()`` etc.) is shared process
+    state: any import-order or worker-count change reshuffles every
+    draw.  ``random.Random(seed)`` instances are the only sanctioned
+    source; creating one unseeded, or at module level (import-time
+    global state), is equally flagged.
+    """
+
+    code = "SL002"
+    title = "no module-level or unseeded random"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = import_aliases(ctx.tree, ("random",))
+        if not aliases:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call(node, aliases)
+            if not name or not name.startswith("random."):
+                continue
+            attr = name.partition(".")[2]
+            if attr == "Random":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx, node,
+                        "random.Random() without a seed is "
+                        "nondeterministic; pass an explicit seed")
+                elif ctx.at_module_level(node):
+                    yield self.finding(
+                        ctx, node,
+                        "module-level Random() creates import-time "
+                        "global RNG state; inject it instead")
+            elif attr:
+                yield self.finding(
+                    ctx, node,
+                    f"random.{attr}() uses the shared global RNG; "
+                    f"draw from an injected seeded random.Random")
+
+
+class TracepointGuardRule(Rule):
+    """SL003: the tracepoint disabled-path contract.
+
+    ``tp.emit(...)`` with arguments must be lexically guarded by
+    ``if tp.enabled:`` so a disabled run never builds the keyword dict —
+    that guard is what makes tracing near-zero-cost when off (the
+    overhead contract in docs/OBSERVABILITY.md).  ``emit`` re-checks the
+    flag, so an unguarded site is slow, not wrong — which is exactly why
+    only a linter can hold the line.
+    """
+
+    code = "SL003"
+    title = "tracepoint emit must be guarded by its enabled flag"
+
+    def _tracepoint_vars(self, ctx: FileContext) -> set[str]:
+        out = set()
+        for node in ctx.tree.body:
+            if (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)):
+                name = dotted_name(node.value.func)
+                if name and (name == "tracepoint"
+                             or name.endswith(".tracepoint")):
+                    out.add(node.targets[0].id)
+        return out
+
+    @staticmethod
+    def _test_checks_enabled(test: ast.AST, tp_name: str) -> bool:
+        for sub in ast.walk(test):
+            if (isinstance(sub, ast.Attribute) and sub.attr == "enabled"
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == tp_name):
+                return True
+        return False
+
+    def _guarded(self, ctx: FileContext, node: ast.AST, tp_name: str) -> bool:
+        child = node
+        for parent in ctx.parents(node):
+            if (isinstance(parent, ast.If)
+                    and any(child is stmt for stmt in parent.body)
+                    and self._test_checks_enabled(parent.test, tp_name)):
+                return True
+            child = parent
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        tp_vars = self._tracepoint_vars(ctx)
+        if not tp_vars:
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "emit"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in tp_vars):
+                continue
+            if not node.args and not node.keywords:
+                continue
+            tp_name = node.func.value.id
+            if not self._guarded(ctx, node, tp_name):
+                yield self.finding(
+                    ctx, node,
+                    f"{tp_name}.emit(...) builds arguments without an "
+                    f"'if {tp_name}.enabled:' guard; disabled runs must "
+                    f"not pay for event construction")
+
+
+class BareAssertRule(Rule):
+    """SL004: no bare ``assert`` carrying simulator invariants.
+
+    ``python -O`` strips assert statements, silently disabling the
+    check — a production run would then corrupt state instead of
+    failing.  Invariants must raise typed
+    :class:`~repro.errors.SimInvariantError` (or go through the runtime
+    sanitizer); tests are exempt, pytest rewrites their asserts.
+    """
+
+    code = "SL004"
+    title = "no bare assert in non-test code"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.is_test_file():
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    ctx, node,
+                    "bare assert is stripped under python -O; raise "
+                    "SimInvariantError (repro.errors) or use the "
+                    "sanitizer (repro.analysis.sanitizer)")
+
+
+class MutableDefaultRule(Rule):
+    """SL005: no mutable default arguments (shared across calls)."""
+
+    code = "SL005"
+    title = "no mutable default arguments"
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict",
+                      "deque", "OrderedDict", "Counter"}
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            return bool(name) and name.split(".")[-1] in self._MUTABLE_CALLS
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults)
+            defaults += [d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._is_mutable(default):
+                    fn = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        ctx, default,
+                        f"mutable default argument in {fn}() is shared "
+                        f"across calls; default to None and build inside")
+
+
+class DeterministicIterationRule(Rule):
+    """SL006: set iteration feeding output needs an explicit order.
+
+    ``fleet`` and ``telemetry`` produce manifests, reports, and JSONL
+    streams whose byte-identity across runs and worker counts is the
+    headline contract; iterating a set there hands the output to hash
+    randomisation.  Wrap the iterable in ``sorted(...)``.
+    """
+
+    code = "SL006"
+    title = "deterministic iteration in fleet/telemetry"
+
+    _SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+    def _set_vars(self, ctx: FileContext) -> set[str]:
+        """Names assigned a set-typed expression anywhere in the file
+        (scope-insensitive heuristic)."""
+        out: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and self._is_set_expr(node.value, out)):
+                out.add(node.targets[0].id)
+        return out
+
+    def _is_set_expr(self, node: ast.AST, set_vars: set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return dotted_name(node.func) in ("set", "frozenset")
+        if isinstance(node, ast.BinOp) and isinstance(node.op, self._SET_OPS):
+            return (self._is_set_expr(node.left, set_vars)
+                    or self._is_set_expr(node.right, set_vars))
+        if isinstance(node, ast.Name):
+            return node.id in set_vars
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_subsystem(*ORDERED_OUTPUT_SUBSYSTEMS):
+            return
+        set_vars = self._set_vars(ctx)
+        iters: list[ast.AST] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+        for it in iters:
+            if self._is_set_expr(it, set_vars):
+                yield self.finding(
+                    ctx, it,
+                    "iterating a set in an output-producing subsystem; "
+                    "iteration order is arbitrary — wrap in sorted(...)")
+
+
+class DeprecatedApiRule(Rule):
+    """SL007: refuse new calls to deprecated APIs inside the package.
+
+    The runtime shims warn callers once; this rule keeps the package
+    itself honest — new internal code must use the replacement from day
+    one so the shims can eventually be deleted.
+    """
+
+    code = "SL007"
+    title = "no calls to deprecated APIs"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in DEPRECATED_APIS):
+                replacement = DEPRECATED_APIS[node.func.attr]
+                yield self.finding(
+                    ctx, node,
+                    f".{node.func.attr}() is deprecated; use "
+                    f"{replacement}")
+
+
+#: The shipped rule set, in code order.
+DEFAULT_RULES = (
+    WallClockRule(),
+    SeededRandomRule(),
+    TracepointGuardRule(),
+    BareAssertRule(),
+    MutableDefaultRule(),
+    DeterministicIterationRule(),
+    DeprecatedApiRule(),
+)
+
+
+def rule_catalogue() -> list[tuple[str, str, str]]:
+    """``(code, title, doc)`` for every shipped rule (docs + CLI)."""
+    out = []
+    for rule in DEFAULT_RULES:
+        doc = (rule.__doc__ or "").strip().splitlines()[0]
+        out.append((rule.code, rule.title, doc))
+    return out

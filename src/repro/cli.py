@@ -12,6 +12,8 @@ Examples::
     python -m repro trace --input ev.jsonl --match 'mm.compact.*'
     python -m repro metrics run.json      # pretty-print one manifest
     python -m repro metrics a.json b.json # diff two runs
+    python -m repro lint src/repro        # determinism/invariant linter
+    python -m repro lint --json --list-rules
     python -m repro hwcost                # metadata-table cost model
 """
 
@@ -228,6 +230,38 @@ def _cmd_autotune(args) -> None:
          ("c_ms", f"{best.c_ms:.3f}"), ("c_us", f"{best.c_us:.3f}")]))
 
 
+def _cmd_lint(args) -> None:
+    import os
+
+    from .analysis.simlint import (
+        lint_paths,
+        render_json,
+        render_text,
+        rule_catalogue,
+    )
+
+    if args.list_rules:
+        if args.json:
+            import json
+
+            print(json.dumps(
+                [{"code": c, "title": t, "summary": s}
+                 for c, t, s in rule_catalogue()], indent=2))
+        else:
+            print(format_table(
+                ["Rule", "Contract"],
+                [(code, title) for code, title, _ in rule_catalogue()],
+                title="simlint rule catalogue (docs/ANALYSIS.md)"))
+        return
+    # Default target: the installed repro package itself, so `repro lint`
+    # works from any working directory.
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    findings = lint_paths(paths)
+    print(render_json(findings) if args.json else render_text(findings))
+    if findings:
+        raise SystemExit(1)
+
+
 def _cmd_hwcost(args) -> None:
     cost = MetadataTableCost()
     print(format_table(
@@ -308,6 +342,17 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("manifests", nargs="+", metavar="MANIFEST",
                          help="one manifest to summarise, or two to diff")
     metrics.set_defaults(fn=_cmd_metrics)
+
+    lint = sub.add_parser(
+        "lint", help="determinism & invariant static analysis (simlint)")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files/directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable findings")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+    lint.set_defaults(fn=_cmd_lint)
 
     sub.add_parser("hwcost", help="metadata-table cost").set_defaults(
         fn=_cmd_hwcost)

@@ -262,7 +262,9 @@ class HwMigrationEngine:
         xslice_before = self.stats.cross_slice_writes
         copy_cycles = self.copy_lines(src_ppn)
         entry = self.table.lookup(src_ppn)
-        assert entry is not None and entry.done
+        if entry is None or not entry.done:
+            raise HardwareProtocolError(
+                f"migration of ppn {src_ppn} did not complete its copy")
         lines = LINES_PER_PAGE - dirty_before
         self.submit_clear(src_ppn)
         self.stats.migrations += 1

@@ -31,3 +31,62 @@ class ConfigurationError(ReproError):
 class HardwareProtocolError(ReproError):
     """Contiguitas-HW protocol violation (e.g. migrating a page that is
     already under migration, or clearing an entry that does not exist)."""
+
+
+class SimInvariantError(ReproError):
+    """A simulator invariant was violated — the analogue of a kernel
+    ``BUG_ON``.
+
+    Raised instead of a bare ``assert`` so that invariants keep firing
+    under ``python -O`` (which strips assert statements).  The runtime
+    sanitizer (:mod:`repro.analysis.sanitizer`) raises the
+    :class:`SanitizerError` subclasses with frame-level detail.
+    """
+
+
+class SanitizerError(SimInvariantError):
+    """Base class for frame-state violations detected by the runtime
+    sanitizer (the CONFIG_DEBUG_VM analogue).
+
+    Attributes:
+        pfn: the offending frame number, or None for aggregate checks.
+        history: recent ``(action, order, tick)`` events recorded for the
+            frame when a :class:`~repro.analysis.sanitizer.FrameSanitizer`
+            is attached; empty otherwise.
+    """
+
+    def __init__(self, message: str, pfn: int | None = None,
+                 history: tuple = ()) -> None:
+        if pfn is not None:
+            message = f"{message} (pfn {pfn})"
+        if history:
+            trail = " -> ".join(
+                f"{action}@{tick}:o{order}" for action, order, tick in history)
+            message = f"{message} [history: {trail}]"
+        super().__init__(message)
+        self.pfn = pfn
+        self.history = tuple(history)
+
+
+class DoubleAllocError(SanitizerError):
+    """A frame that is already part of a live allocation was allocated
+    again (or a duplicate head PFN was registered)."""
+
+
+class DoubleFreeError(SanitizerError):
+    """An allocation was freed twice."""
+
+
+class FreeOfUnallocatedError(SanitizerError):
+    """A free targeted a frame that is not a live allocation head."""
+
+
+class MigratetypeDriftError(SanitizerError):
+    """Per-migratetype free accounting diverged from the frame arrays
+    (a free block sits on one type's list while the frame metadata or
+    counters say another)."""
+
+
+class FreelistDivergenceError(SanitizerError):
+    """Buddy free-list bookkeeping diverged from the frame arrays or the
+    occupancy bitmaps (missing list entry, stale order, bad nr_free)."""

@@ -36,6 +36,20 @@ from .stats import median, pearson
 #: Per-server metrics addressable through :meth:`FleetSample.series`.
 SERIES_METRICS = ("contiguity", "unmovable")
 
+#: Deprecated accessors that have already warned this process; each shim
+#: warns exactly once so sweeps over thousands of samples don't flood
+#: stderr.  Tests may clear this to re-arm the warning.
+_DEPRECATION_WARNED: set[str] = set()
+
+
+def _warn_deprecated_once(name: str, replacement: str) -> None:
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    warnings.warn(
+        f"FleetSample.{name}() is deprecated; use {replacement}",
+        DeprecationWarning, stacklevel=3)
+
 
 @dataclass
 class FleetSample:
@@ -61,18 +75,14 @@ class FleetSample:
 
     def contiguity_values(self, granularity: str) -> list[float]:
         """Deprecated: use ``series("contiguity", granularity)``."""
-        warnings.warn(
-            "FleetSample.contiguity_values() is deprecated; use "
-            "series('contiguity', granularity)",
-            DeprecationWarning, stacklevel=2)
+        _warn_deprecated_once(
+            "contiguity_values", "series('contiguity', granularity)")
         return self.series("contiguity", granularity)
 
     def unmovable_values(self, granularity: str) -> list[float]:
         """Deprecated: use ``series("unmovable", granularity)``."""
-        warnings.warn(
-            "FleetSample.unmovable_values() is deprecated; use "
-            "series('unmovable', granularity)",
-            DeprecationWarning, stacklevel=2)
+        _warn_deprecated_once(
+            "unmovable_values", "series('unmovable', granularity)")
         return self.series("unmovable", granularity)
 
     def fraction_without_any(self, granularity: str = "2MB") -> float:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import SimInvariantError
 from ..mm.handle import PageHandle
 from ..mm.page import AllocSource, MigrateType
 from ..telemetry import tracepoint
@@ -52,7 +53,8 @@ class NetworkBufferPool:
 
     def bring_up(self) -> None:
         """Allocate the persistent per-queue rings (driver initialisation)."""
-        assert not self.rings, "already up"
+        if self.rings:
+            raise SimInvariantError("network rings already up")
         cfg = self.config
         for _ in range(cfg.nr_queues):
             remaining = cfg.ring_frames_per_queue

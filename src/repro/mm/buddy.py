@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, FreelistDivergenceError
 from ..telemetry import tracepoint
 from ..units import MAX_ORDER, PAGEBLOCK_FRAMES
 from . import vmstat as ev
@@ -433,8 +433,10 @@ class BuddyAllocator:
         order = mem.free_order_mv[pfn]
         imt = mem.free_mt_mv[pfn]
         flist = self.free_lists[order][imt]
-        removed = flist.discard(pfn)
-        assert removed, f"free block {pfn} not on list {order}/{imt}"
+        if not flist.discard(pfn):
+            raise FreelistDivergenceError(
+                f"{self.label}: free block not on list "
+                f"order={order} mt={imt}", pfn=pfn)
         if not flist:
             self._occ[imt] &= ~(1 << order)
         mem.free_order_mv[pfn] = -1
@@ -469,29 +471,14 @@ class BuddyAllocator:
                 occ[int(mt)] &= ~(1 << o)
 
     def check_consistency(self) -> None:
-        """Assert free-list bookkeeping matches the frame arrays.
+        """Verify free-list bookkeeping against the frame arrays.
 
-        Used by tests and property-based checks; O(free blocks).
+        Delegates to the runtime sanitizer's sweep
+        (:func:`repro.analysis.sanitizer.verify_allocator`), which raises
+        typed :class:`~repro.errors.FreelistDivergenceError` /
+        :class:`~repro.errors.MigratetypeDriftError` — so the check fires
+        identically under ``python -O``.  O(free blocks).
         """
-        counted = 0
-        for order, lists in enumerate(self.free_lists):
-            for mt, flist in lists.items():
-                if flist:
-                    # Occupancy soundness: a non-empty list must have its
-                    # bitmap bit set (the reverse — a set bit over an
-                    # empty list — is allowed; bits heal lazily).
-                    assert self._occ[int(mt)] >> order & 1, (
-                        f"occupancy bit clear for non-empty list "
-                        f"{order}/{mt}"
-                    )
-                for pfn in flist:
-                    assert self.mem.free_order[pfn] == order, (
-                        f"pfn {pfn}: list order {order} != "
-                        f"array {self.mem.free_order[pfn]}"
-                    )
-                    assert self.mem.free_mt[pfn] == int(mt)
-                    assert not self.mem.is_allocated(pfn)
-                    counted += 1 << order
-        assert counted == self.nr_free, (
-            f"nr_free {self.nr_free} != counted {counted}"
-        )
+        from ..analysis.sanitizer import verify_allocator
+
+        verify_allocator(self)

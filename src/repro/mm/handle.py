@@ -9,6 +9,7 @@ tables / reverse mappings so owners keep working after a move.
 
 from __future__ import annotations
 
+from ..errors import DoubleAllocError
 from .page import AllocSource, MigrateType
 
 
@@ -71,7 +72,9 @@ class HandleRegistry:
         return pfn in self._by_pfn
 
     def register(self, handle: PageHandle) -> PageHandle:
-        assert handle.pfn not in self._by_pfn, "duplicate head pfn"
+        if handle.pfn in self._by_pfn:
+            raise DoubleAllocError("duplicate head pfn in handle registry",
+                                   pfn=handle.pfn)
         self._by_pfn[handle.pfn] = handle
         return handle
 

@@ -16,7 +16,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import ContiguityError, OutOfMemoryError
+from ..errors import (
+    ConfigurationError,
+    ContiguityError,
+    DoubleFreeError,
+    OutOfMemoryError,
+)
 from ..telemetry import set_sim_clock, tracepoint
 from ..units import GIGAPAGE_FRAMES, MAX_ORDER, PAGEBLOCK_FRAMES
 from . import vmstat as ev
@@ -84,6 +89,10 @@ class KernelConfig:
     pcp_batch: int = 32
     pcp_high: int = 96
     psi_halflife_ticks: float = 1_000_000.0
+    #: Attach the runtime frame-state sanitizer (the CONFIG_DEBUG_VM
+    #: analogue, :mod:`repro.analysis.sanitizer`).  ``None`` defers to
+    #: the ``REPRO_DEBUG_VM`` environment variable; True/False override.
+    debug_vm: bool | None = None
 
     @property
     def victim_cores(self) -> int:
@@ -103,6 +112,13 @@ class LinuxKernel:
         set_sim_clock(self)
         self.stat = VmStat()
         self.mem = PhysicalMemory(self.config.mem_bytes)
+        # Lazy import: analysis packages import mm at module level, so
+        # the reverse edge must stay runtime-only.
+        from ..analysis.sanitizer import FrameSanitizer, debug_vm_enabled
+
+        if (self.config.debug_vm
+                if self.config.debug_vm is not None else debug_vm_enabled()):
+            FrameSanitizer().attach(self.mem)
         self.pageblocks = PageblockTable(self.mem)
         self.handles = HandleRegistry()
         self.reclaim_lru = ReclaimLRU(self.stat)
@@ -346,7 +362,11 @@ class LinuxKernel:
 
     def free_pages(self, handle: PageHandle) -> None:
         """Release an allocation (any order, including gigapages)."""
-        assert not handle.freed, "double free"
+        if handle.freed:
+            san = self.mem.sanitizer
+            raise DoubleFreeError(
+                f"handle already freed: {handle!r}", pfn=handle.pfn,
+                history=san.history(handle.pfn) if san is not None else ())
         self.reclaim_lru.forget(handle)
         self.handles.on_free(handle)
         if handle.order <= MAX_ORDER:
@@ -436,7 +456,9 @@ class LinuxKernel:
     def _alloc_contig(self, nframes: int) -> PageHandle | None:
         self.drain_pcp()
         order = (nframes - 1).bit_length()
-        assert (1 << order) == nframes, "contig size must be a power of two"
+        if (1 << order) != nframes:
+            raise ConfigurationError(
+                f"contig size must be a power of two, got {nframes} frames")
         for start, end in self._contig_candidates(nframes):
             allocator = self.allocator_for(start)
             if not (allocator.contains(start) and allocator.contains(end - 1)):
@@ -466,10 +488,9 @@ class LinuxKernel:
                 + sum(p.held_pages() for p in self._pcp.values()))
 
     def check_consistency(self) -> None:
-        """Cross-check buddy bookkeeping against the frame arrays."""
-        for alloc in self.allocators():
-            alloc.check_consistency()
-        free = self.mem.free_frames()
-        on_lists = self.free_frames()
-        assert free == on_lists, (
-            f"{free} frames free in mem vs {on_lists} on free lists")
+        """Cross-check buddy bookkeeping against the frame arrays.
+
+        Raises the typed sanitizer errors (survives ``python -O``)."""
+        from ..analysis.sanitizer import verify_kernel
+
+        verify_kernel(self)

@@ -11,7 +11,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import (
+    ConfigurationError,
+    DoubleAllocError,
+    DoubleFreeError,
+    FreeOfUnallocatedError,
+    SimInvariantError,
+)
 from ..units import FRAME_SIZE, PAGEBLOCK_FRAMES, bytes_to_frames
 from .page import AllocationInfo, AllocSource, MigrateType, PageFlag
 
@@ -82,6 +88,34 @@ class PhysicalMemory:
         #: Live allocation heads, maintained for iteration by analyses.
         self.alloc_heads: set[int] = set()
 
+        #: Optional :class:`~repro.analysis.sanitizer.FrameSanitizer`.
+        #: When attached (``REPRO_DEBUG_VM=1`` / ``debug_vm=True``), the
+        #: mark paths record per-PFN history so invariant failures carry
+        #: the alloc/free trail that led there.
+        self.sanitizer = None
+
+    # ------------------------------------------------------------------
+    # Invariant failures (cold paths, split out of the hot marks)
+    # ------------------------------------------------------------------
+
+    def _history(self, pfn: int) -> tuple:
+        san = self.sanitizer
+        return san.history(pfn) if san is not None else ()
+
+    def _raise_double_alloc(self, pfn: int, order: int) -> None:
+        raise DoubleAllocError(
+            f"allocating order-{order} over a live frame", pfn=pfn,
+            history=self._history(pfn))
+
+    def _raise_bad_free(self, pfn: int) -> None:
+        san = self.sanitizer
+        if san is not None and san.last_action(pfn) == "free":
+            raise DoubleFreeError("frame already freed", pfn=pfn,
+                                  history=san.history(pfn))
+        raise FreeOfUnallocatedError(
+            "freeing a frame that is not an allocation head", pfn=pfn,
+            history=self._history(pfn))
+
     # ------------------------------------------------------------------
     # Allocation bookkeeping (called by the buddy allocator / migration)
     # ------------------------------------------------------------------
@@ -99,7 +133,8 @@ class PhysicalMemory:
         if order == 0:
             # Scalar fast path: order-0 dominates workload traffic and
             # numpy's slice machinery costs more than the writes.
-            assert not self.flags_mv[pfn], "double allocation"
+            if self.flags_mv[pfn]:
+                self._raise_double_alloc(pfn, 0)
             self.flags_mv[pfn] = (_F_ALLOCATED | _F_HEAD
                                   | (_F_PINNED if pinned else 0))
             self.migratetype_mv[pfn] = int(migratetype)
@@ -108,9 +143,12 @@ class PhysicalMemory:
             self.alloc_order_mv[pfn] = 0
             self.birth_mv[pfn] = birth
             self.alloc_heads.add(pfn)
+            if self.sanitizer is not None:
+                self.sanitizer.note_alloc(pfn, 0, birth)
             return
         end = pfn + (1 << order)
-        assert not self.flags[pfn:end].any(), "double allocation"
+        if self.flags[pfn:end].any():
+            self._raise_double_alloc(pfn, order)
         self.flags[pfn:end] = _F_ALLOCATED | (_F_PINNED if pinned else 0)
         self.flags[pfn] |= _F_HEAD
         self.migratetype[pfn:end] = int(migratetype)
@@ -119,17 +157,22 @@ class PhysicalMemory:
         self.alloc_order[pfn] = order
         self.birth[pfn] = birth
         self.alloc_heads.add(pfn)
+        if self.sanitizer is not None:
+            self.sanitizer.note_alloc(pfn, order, birth)
 
     def mark_free(self, pfn: int) -> int:
         """Clear a live allocation headed at *pfn*; returns its order."""
         order = self.alloc_order_mv[pfn]
-        assert order >= 0, f"freeing non-head pfn {pfn}"
+        if order < 0:
+            self._raise_bad_free(pfn)
         if order == 0:
             self.flags_mv[pfn] = 0
         else:
             self.flags[pfn:pfn + (1 << order)] = 0
         self.alloc_order_mv[pfn] = -1
         self.alloc_heads.discard(pfn)
+        if self.sanitizer is not None:
+            self.sanitizer.note_free(pfn, order)
         return order
 
     def pin(self, pfn: int) -> None:
@@ -165,7 +208,8 @@ class PhysicalMemory:
 
     def allocation_info(self, pfn: int) -> AllocationInfo:
         """Describe the allocation owning frame *pfn* (head or member)."""
-        assert self.is_allocated(pfn), f"pfn {pfn} is free"
+        if not self.is_allocated(pfn):
+            raise SimInvariantError(f"pfn {pfn} is free, not an allocation")
         head = int(self.head_of[pfn])
         return AllocationInfo(
             pfn=head,

@@ -18,7 +18,7 @@ import math
 import random
 from dataclasses import dataclass, field
 
-from ..errors import ContiguityError, OutOfMemoryError
+from ..errors import ContiguityError, OutOfMemoryError, SimInvariantError
 from ..mm import vmstat as ev
 from ..kalloc.netbuf import NetworkBufferPool, NetworkQueueConfig
 from ..kalloc.pagetable import PageTableAllocator
@@ -159,7 +159,8 @@ class Workload:
 
     def start(self) -> None:
         """Deploy the service: networking up, heap mapped, cache warmed."""
-        assert not self.started
+        if self.started:
+            raise SimInvariantError("workload already started")
         self.started = True
         self.netpool.bring_up()
         self._map_heap()
@@ -180,7 +181,8 @@ class Workload:
         the combination of both effects that makes restarted servers
         "partially fragmented" (paper §5.1).
         """
-        assert self.started
+        if not self.started:
+            raise SimInvariantError("stopping a workload that never started")
         self.started = False
         for chunk in self.anon_chunks:
             for handle in self._chunk_handles(chunk):
@@ -272,7 +274,8 @@ class Workload:
 
     def step(self, ticks: int = 1000) -> None:
         """One churn interval: expire dead allocations, create new ones."""
-        assert self.started
+        if not self.started:
+            raise SimInvariantError("stepping a workload that never started")
         self.steps += 1
         self._expire()
         # Diurnal traffic factor for kernel-side churn.

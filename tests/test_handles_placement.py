@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import PlacementPolicy
+from repro.errors import DoubleAllocError
 from repro.mm import AllocSource, HandleRegistry, MigrateType, PageHandle
 
 
@@ -31,10 +32,10 @@ class TestHandleRegistry:
         assert 10 in reg
         assert len(reg) == 1
 
-    def test_duplicate_pfn_asserts(self):
+    def test_duplicate_pfn_raises_typed(self):
         reg = HandleRegistry()
         reg.register(handle(pfn=10))
-        with pytest.raises(AssertionError):
+        with pytest.raises(DoubleAllocError):
             reg.register(handle(pfn=10))
 
     def test_on_free_marks_and_removes(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ContiguityError, OutOfMemoryError
+from repro.errors import ContiguityError, DoubleFreeError, OutOfMemoryError
 from repro.mm import AllocSource, KernelConfig, LinuxKernel, MigrateType
 from repro.mm import vmstat as ev
 from repro.units import GIGAPAGE_FRAMES, MAX_ORDER, MiB, PAGEBLOCK_FRAMES
@@ -18,10 +18,10 @@ def test_alloc_free_roundtrip(linux):
     assert linux.free_frames() == linux.mem.nframes
 
 
-def test_double_free_asserts(linux):
+def test_double_free_raises_typed(linux):
     h = linux.alloc_pages(0)
     linux.free_pages(h)
-    with pytest.raises(AssertionError):
+    with pytest.raises(DoubleFreeError):
         linux.free_pages(h)
 
 

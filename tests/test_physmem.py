@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DoubleAllocError
 from repro.mm import AllocSource, MigrateType, PhysicalMemory
 from repro.units import MiB, PAGEBLOCK_FRAMES
 
@@ -60,9 +60,9 @@ def test_mark_free_clears_everything(mem):
     assert 0 not in mem.alloc_heads
 
 
-def test_double_allocation_asserts(mem):
+def test_double_allocation_raises_typed(mem):
     mem.mark_allocated(0, 0, MigrateType.MOVABLE, AllocSource.USER, 0)
-    with pytest.raises(AssertionError):
+    with pytest.raises(DoubleAllocError):
         mem.mark_allocated(0, 0, MigrateType.MOVABLE, AllocSource.USER, 0)
 
 

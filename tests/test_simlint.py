@@ -1,0 +1,379 @@
+"""simlint: every rule gets a clean, a violating, and a suppressed case.
+
+Fixtures are inline source strings; subsystem-scoped rules (SL001,
+SL006) are exercised by giving :func:`lint_source` a *path* inside and
+outside the scoped directories — the engine scopes on directory
+components, not file contents.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.simlint import (
+    DEFAULT_RULES,
+    DEPRECATED_APIS,
+    Finding,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+    rule_catalogue,
+)
+
+MM_PATH = "src/repro/mm/fixture.py"
+FLEET_PATH = "src/repro/fleet/fixture.py"
+NEUTRAL_PATH = "src/repro/analysis/fixture.py"
+
+
+def rules_of(source: str, path: str = NEUTRAL_PATH) -> set[str]:
+    return {f.rule for f in lint_source(textwrap.dedent(source), path)}
+
+
+def findings_for(source: str, path: str = NEUTRAL_PATH) -> list[Finding]:
+    return lint_source(textwrap.dedent(source), path)
+
+
+class TestWallClockSL001:
+    def test_flags_wall_clock_in_sim_subsystem(self):
+        src = """
+            import time
+
+            def stamp():
+                return time.time()
+        """
+        found = findings_for(src, MM_PATH)
+        assert [f.rule for f in found] == ["SL001"]
+        assert "time.time" in found[0].message
+
+    def test_flags_aliased_and_from_imports(self):
+        src = """
+            from datetime import datetime
+            import time as t
+
+            def stamp():
+                return datetime.now(), t.monotonic()
+        """
+        found = findings_for(src, FLEET_PATH)
+        assert [f.rule for f in found] == ["SL001", "SL001"]
+
+    def test_perf_counter_exempt(self):
+        src = """
+            import time
+
+            def duration():
+                return time.perf_counter()
+        """
+        assert "SL001" not in rules_of(src, FLEET_PATH)
+
+    def test_outside_sim_subsystems_allowed(self):
+        src = """
+            import time
+
+            def stamp():
+                return time.time()
+        """
+        assert "SL001" not in rules_of(src, "src/repro/telemetry/manifest.py")
+
+
+class TestSeededRandomSL002:
+    def test_flags_unseeded_random(self):
+        src = """
+            import random
+
+            def jitter():
+                return random.random()
+        """
+        assert "SL002" in rules_of(src)
+
+    def test_flags_unseeded_random_instance(self):
+        src = """
+            import random
+
+            def make_rng():
+                return random.Random()
+        """
+        assert "SL002" in rules_of(src)
+
+    def test_seeded_instance_in_function_clean(self):
+        src = """
+            import random
+
+            def make_rng(seed):
+                return random.Random(seed)
+        """
+        assert "SL002" not in rules_of(src)
+
+    def test_module_level_seeded_instance_flagged(self):
+        src = """
+            import random
+
+            RNG = random.Random(1234)
+        """
+        assert "SL002" in rules_of(src)
+
+
+class TestTracepointGuardSL003:
+    def test_unguarded_emit_with_kwargs_flagged(self):
+        src = """
+            from repro.telemetry import tracepoint
+
+            tp_alloc = tracepoint("mm.buddy.alloc")
+
+            def alloc(pfn):
+                tp_alloc.emit(pfn=pfn)
+        """
+        found = findings_for(src)
+        assert [f.rule for f in found] == ["SL003"]
+        assert "enabled" in found[0].message
+
+    def test_guarded_emit_clean(self):
+        src = """
+            from repro.telemetry import tracepoint
+
+            tp_alloc = tracepoint("mm.buddy.alloc")
+
+            def alloc(pfn):
+                if tp_alloc.enabled:
+                    tp_alloc.emit(pfn=pfn)
+        """
+        assert "SL003" not in rules_of(src)
+
+    def test_argless_emit_clean(self):
+        # No kwargs built on the disabled path -> no overhead to guard.
+        src = """
+            from repro.telemetry import tracepoint
+
+            tp_tick = tracepoint("sim.tick")
+
+            def tick():
+                tp_tick.emit()
+        """
+        assert "SL003" not in rules_of(src)
+
+
+class TestBareAssertSL004:
+    def test_flags_assert_in_non_test_code(self):
+        src = """
+            def merge(order):
+                assert order >= 0, "invariant"
+        """
+        assert "SL004" in rules_of(src, MM_PATH)
+
+    def test_test_files_exempt(self):
+        src = """
+            def test_merge():
+                assert 1 + 1 == 2
+        """
+        assert "SL004" not in rules_of(src, "tests/test_fixture.py")
+        assert "SL004" not in rules_of(src, "src/repro/test_inline.py")
+
+
+class TestMutableDefaultSL005:
+    def test_flags_literal_and_constructor_defaults(self):
+        src = """
+            def f(xs=[], mapping=dict(), *, seen=set()):
+                return xs, mapping, seen
+        """
+        found = findings_for(src)
+        assert [f.rule for f in found] == ["SL005", "SL005", "SL005"]
+
+    def test_none_sentinel_clean(self):
+        src = """
+            def f(xs=None, n=3, name="x"):
+                return xs or []
+        """
+        assert "SL005" not in rules_of(src)
+
+
+class TestDeterministicIterationSL006:
+    def test_flags_set_iteration_in_fleet(self):
+        src = """
+            def report(scans):
+                names = {s.name for s in scans}
+                return [n for n in names]
+        """
+        assert "SL006" in rules_of(src, FLEET_PATH)
+
+    def test_sorted_iteration_clean(self):
+        src = """
+            def report(scans):
+                names = {s.name for s in scans}
+                return [n for n in sorted(names)]
+        """
+        assert "SL006" not in rules_of(src, FLEET_PATH)
+
+    def test_outside_ordered_subsystems_allowed(self):
+        src = """
+            def report(scans):
+                names = {s.name for s in scans}
+                return [n for n in names]
+        """
+        assert "SL006" not in rules_of(src, MM_PATH)
+
+
+class TestDeprecatedApiSL007:
+    def test_flags_each_deprecated_accessor(self):
+        src = """
+            def legacy(sample):
+                return (sample.contiguity_values("2MB"),
+                        sample.unmovable_values("2MB"))
+        """
+        found = findings_for(src)
+        assert [f.rule for f in found] == ["SL007", "SL007"]
+        for f in found:
+            assert "series(" in f.message
+
+    def test_replacement_api_clean(self):
+        src = """
+            def modern(sample):
+                return sample.series("contiguity", "2MB")
+        """
+        assert "SL007" not in rules_of(src)
+
+    def test_catalogue_matches_rule(self):
+        assert set(DEPRECATED_APIS) == {"contiguity_values",
+                                        "unmovable_values"}
+
+
+class TestSuppression:
+    VIOLATION = """
+        def merge(order):
+            assert order >= 0  # simlint: disable=SL004
+    """
+
+    def test_line_disable_comment(self):
+        assert "SL004" not in rules_of(self.VIOLATION, MM_PATH)
+
+    def test_line_disable_is_per_line(self):
+        src = """
+            def merge(order):
+                assert order >= 0  # simlint: disable=SL004
+                assert order < 64
+        """
+        found = findings_for(src, MM_PATH)
+        assert [f.rule for f in found] == ["SL004"]
+        assert found[0].line == 4
+
+    def test_file_level_disable(self):
+        src = """
+            # simlint: disable-file=SL004
+            def merge(order):
+                assert order >= 0
+                assert order < 64
+        """
+        assert "SL004" not in rules_of(src, MM_PATH)
+
+    def test_disable_all_wildcard(self):
+        src = """
+            def f(xs=[]):  # simlint: disable=ALL
+                return xs
+        """
+        assert rules_of(src) == set()
+
+    def test_unrelated_code_not_suppressed(self):
+        src = """
+            def f(xs=[]):  # simlint: disable=SL004
+                return xs
+        """
+        assert "SL005" in rules_of(src)
+
+
+class TestEngine:
+    def test_syntax_error_yields_sl000(self):
+        found = lint_source("def broken(:\n", "bad.py")
+        assert [f.rule for f in found] == ["SL000"]
+        assert "syntax error" in found[0].message
+
+    def test_findings_are_structured_and_sorted(self):
+        src = """
+            def f(xs=[]):
+                assert xs
+        """
+        found = findings_for(src, MM_PATH)
+        assert found == sorted(found)
+        for f in found:
+            d = f.to_dict()
+            assert set(d) == {"path", "line", "col", "rule", "message"}
+            assert f.format().startswith(f"{f.path}:{f.line}:")
+
+    def test_render_text_and_json(self):
+        found = findings_for("def f(xs=[]):\n    return xs\n")
+        text = render_text(found)
+        assert "SL005" in text and text.endswith("simlint: 1 finding")
+        payload = json.loads(render_json(found))
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "SL005"
+        assert json.loads(render_json([])) == {"findings": [], "count": 0}
+
+    def test_clean_render(self):
+        assert render_text([]) == "simlint: clean"
+
+    def test_rule_catalogue_covers_default_rules(self):
+        codes = [code for code, _, _ in rule_catalogue()]
+        assert codes == sorted(r.code for r in DEFAULT_RULES)
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        pkg = tmp_path / "fleet"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text("def f(xs=[]):\n    return xs\n")
+        (pkg / "good.py").write_text("def f(xs=None):\n    return xs\n")
+        (pkg / "__pycache__").mkdir()
+        (pkg / "__pycache__" / "stale.py").write_text("def f(xs=[]): pass\n")
+        found = lint_paths([tmp_path])
+        assert [f.rule for f in found] == ["SL005"]
+        assert found[0].path.endswith("bad.py")
+
+
+class TestShippedTree:
+    def test_repro_package_is_clean(self):
+        import repro
+        import os
+
+        assert lint_paths([os.path.dirname(repro.__file__)]) == []
+
+
+class TestCli:
+    def _violating_file(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text("def f(xs=[]):\n    return xs\n")
+        return target
+
+    def test_lint_clean_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        clean = tmp_path / "ok.py"
+        clean.write_text("def f(xs=None):\n    return xs\n")
+        main(["lint", str(clean)])
+        assert "simlint: clean" in capsys.readouterr().out
+
+    def test_lint_findings_exit_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = self._violating_file(tmp_path)
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", str(target)])
+        assert exc.value.code == 1
+        out = capsys.readouterr().out
+        assert "SL005" in out and "1 finding" in out
+
+    def test_lint_json_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = self._violating_file(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["lint", "--json", str(target)])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "SL005"
+
+    def test_list_rules(self, capsys):
+        from repro.cli import main
+
+        main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        for code in ("SL001", "SL004", "SL007"):
+            assert code in out

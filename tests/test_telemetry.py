@@ -401,16 +401,31 @@ class TestFleetTelemetry:
         plain = sample_fleet(config=_small_config(), workers=1, **FLEET_KW)
         assert plain.scans == sample.scans
 
-    def test_deprecated_accessors_warn_and_delegate(self):
+    def test_deprecated_accessors_warn_once_and_delegate(self):
+        import warnings as _warnings
+
         from repro.fleet import sample_fleet
+        from repro.fleet import sampler as sampler_mod
 
         sample = sample_fleet(config=_small_config(), workers=1, **FLEET_KW)
-        with pytest.warns(DeprecationWarning):
-            legacy = sample.contiguity_values("2MB")
-        assert legacy == sample.series("contiguity", "2MB")
-        with pytest.warns(DeprecationWarning):
-            legacy = sample.unmovable_values("2MB")
-        assert legacy == sample.series("unmovable", "2MB")
+        sampler_mod._DEPRECATION_WARNED.clear()
+        try:
+            with _warnings.catch_warnings(record=True) as caught:
+                _warnings.simplefilter("always")
+                legacy_c = sample.contiguity_values("2MB")
+                sample.contiguity_values("2MB")  # second call: silent
+                legacy_u = sample.unmovable_values("2MB")
+                sample.unmovable_values("2MB")  # second call: silent
+            deprecations = [w for w in caught
+                            if issubclass(w.category, DeprecationWarning)]
+            # Exactly once per deprecated accessor, not per call.
+            assert len(deprecations) == 2
+            assert "contiguity_values" in str(deprecations[0].message)
+            assert "unmovable_values" in str(deprecations[1].message)
+        finally:
+            sampler_mod._DEPRECATION_WARNED.clear()
+        assert legacy_c == sample.series("contiguity", "2MB")
+        assert legacy_u == sample.series("unmovable", "2MB")
         with pytest.raises(ConfigurationError):
             sample.series("nope", "2MB")
 
