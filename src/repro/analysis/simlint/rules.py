@@ -1,4 +1,4 @@
-"""The simlint rule catalogue (SL001–SL007).
+"""The simlint rule catalogue (SL001–SL008).
 
 Each rule is a small class with a ``check(ctx)`` generator yielding
 :class:`~repro.analysis.simlint.core.Finding` objects.  Rules encode the
@@ -337,6 +337,75 @@ class DeprecatedApiRule(Rule):
                     f"{replacement}")
 
 
+class BoundedRetryRule(Rule):
+    """SL008: retry loops in non-test code must be bounded.
+
+    A ``while True:`` loop that backs off and retries spins forever when
+    the condition it waits for never arrives; shipped code must count
+    attempts and bail out — raise a typed error or degrade — once the
+    budget is spent (the contract :func:`repro.mm.migrate.
+    migrate_with_retry` and the fleet supervisor follow).  The rule
+    flags constant-true ``while`` loops that *look like* retry loops —
+    a ``*.sleep(...)`` call, a name mentioning retry/backoff/attempt,
+    or a try/except whose handler ``continue``s — and carry no attempt
+    counter (an augmented ``+=``/``-=`` on a plain name) anywhere in
+    the body.  A deliberately unbounded loop is acknowledged with
+    ``# simlint: disable=SL008``.
+    """
+
+    code = "SL008"
+    title = "retry loops must be bounded"
+
+    _MARKERS = ("retry", "retries", "backoff", "attempt")
+
+    @staticmethod
+    def _constant_true(test: ast.AST) -> bool:
+        return isinstance(test, ast.Constant) and test.value is True
+
+    def _looks_like_retry(self, loop: ast.While) -> bool:
+        for node in ast.walk(loop):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "sleep"):
+                return True
+            if isinstance(node, ast.Name) and any(
+                    marker in node.id.lower() for marker in self._MARKERS):
+                return True
+            if isinstance(node, ast.Try):
+                for handler in node.handlers:
+                    if any(isinstance(sub, ast.Continue)
+                           for stmt in handler.body
+                           for sub in ast.walk(stmt)):
+                        return True
+        return False
+
+    @staticmethod
+    def _has_attempt_counter(loop: ast.While) -> bool:
+        for node in ast.walk(loop):
+            if (isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, (ast.Add, ast.Sub))
+                    and isinstance(node.target, ast.Name)):
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.is_test_file():
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if not self._constant_true(node.test):
+                continue
+            if (self._looks_like_retry(node)
+                    and not self._has_attempt_counter(node)):
+                yield self.finding(
+                    ctx, node,
+                    "unbounded retry loop: 'while True:' with "
+                    "retry/backoff markers but no attempt counter; "
+                    "bound the attempts and raise or degrade once the "
+                    "budget is spent")
+
+
 #: The shipped rule set, in code order.
 DEFAULT_RULES = (
     WallClockRule(),
@@ -346,6 +415,7 @@ DEFAULT_RULES = (
     MutableDefaultRule(),
     DeterministicIterationRule(),
     DeprecatedApiRule(),
+    BoundedRetryRule(),
 )
 
 

@@ -8,6 +8,9 @@ Examples::
     python -m repro fleet --servers 8     # mini fleet survey
     python -m repro fleet --servers 8 --trace --events ev.jsonl \\
         --manifest run.json               # observable fleet run
+    python -m repro chaos --plan ci-smoke --servers 6 \\
+        --manifest chaos.json             # fleet under injected faults
+    python -m repro chaos --list-plans    # named fault plans
     python -m repro trace --match 'mm.buddy.*' --limit 20
     python -m repro trace --input ev.jsonl --match 'mm.compact.*'
     python -m repro metrics run.json      # pretty-print one manifest
@@ -134,6 +137,66 @@ def _cmd_fleet(args) -> None:
           f"{fleet.uptime_correlation():+.3f}")
     if args.events:
         print(f"trace events written to {args.events}")
+    if args.manifest:
+        print(f"run manifest written to {args.manifest}")
+
+
+def _cmd_chaos(args) -> None:
+    from .faults import NAMED_PLANS
+    from .fleet import ServerConfig, sample_fleet
+    from .telemetry import TelemetryConfig
+
+    if args.list_plans:
+        rows = []
+        for name, plan in sorted(NAMED_PLANS.items()):
+            for spec in plan.specs:
+                rows.append((
+                    name, spec.site, f"{spec.rate:g}",
+                    "-" if spec.max_fires is None else str(spec.max_fires),
+                    str(spec.skip)))
+        print(format_table(
+            ["Plan", "Site", "Rate", "Max fires", "Skip"], rows,
+            title="Named fault plans (docs/ROBUSTNESS.md)"))
+        return
+    try:
+        plan = NAMED_PLANS[args.plan]
+    except KeyError:
+        raise SystemExit(
+            f"unknown plan {args.plan!r}; one of "
+            f"{', '.join(sorted(NAMED_PLANS))}") from None
+
+    telemetry = TelemetryConfig(manifest_path=args.manifest)
+    config = ServerConfig(mem_bytes=MiB(args.mem_mib), fault_plan=plan)
+    fleet = sample_fleet(n_servers=args.servers, config=config,
+                         base_seed=args.seed, workers=args.workers,
+                         telemetry=telemetry)
+
+    failed = fleet.failed_indices()
+    rows = [
+        ("servers requested", str(args.servers)),
+        ("scans returned", str(len(fleet.scans))),
+        ("completed", str(len(fleet.scans) - len(failed))),
+        ("degraded (retry budget spent)",
+         f"{len(failed)}" + (f"  indices={failed}" if failed else "")),
+    ]
+    print(format_table(
+        ["Outcome", "Value"], rows,
+        title=f"Chaos run: plan '{plan.name}' over {args.servers} servers"))
+
+    fault_rows = [(event, f"{count:,}")
+                  for event, count in fleet.vmstat_totals().items()
+                  if event.startswith("fault.")
+                  or event in ("migrate_retry", "memory_failure",
+                               "memory_failure_offlined",
+                               "memory_failure_fatal", "oom_rescue")]
+    if fault_rows:
+        print()
+        print(format_table(
+            ["Fault counter", "Total"], fault_rows,
+            title="Injected faults and degradation events"))
+
+    print(f"\nPearson(uptime, free 2MB blocks) = "
+          f"{fleet.uptime_correlation():+.3f}")
     if args.manifest:
         print(f"run manifest written to {args.manifest}")
 
@@ -317,6 +380,23 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--manifest", metavar="PATH", default=None,
                        help="write the run manifest JSON to PATH")
     fleet.set_defaults(fn=_cmd_fleet)
+
+    chaos = sub.add_parser(
+        "chaos", help="fleet survey under an injected fault plan")
+    chaos.add_argument("--plan", default="ci-smoke",
+                       help="named fault plan (see --list-plans)")
+    chaos.add_argument("--servers", type=int, default=6)
+    chaos.add_argument("--mem-mib", type=int, default=512)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--workers", type=int, default=None,
+                       help="process count (default: REPRO_FLEET_WORKERS "
+                            "or cpu count; 1 = serial)")
+    chaos.add_argument("--manifest", metavar="PATH", default=None,
+                       help="write the run manifest JSON to PATH "
+                            "(diffable against a clean `repro fleet` run)")
+    chaos.add_argument("--list-plans", action="store_true",
+                       help="print the named fault plans and exit")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     trace = sub.add_parser(
         "trace", help="dump/filter a tracepoint event stream")

@@ -19,12 +19,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import OutOfMemoryError
+from ..errors import MigrationError, OutOfMemoryError
 from ..mm import vmstat as ev
 from ..mm.buddy import BuddyAllocator
 from ..mm.handle import PageHandle
-from ..mm.kernel import KernelConfig, LinuxKernel
-from ..mm.migrate import move_allocation
+from ..mm.kernel import KernelConfig, LinuxKernel, _fs_uce
+from ..mm.migrate import migrate_with_retry
 from ..mm.page import AllocSource, MigrateType
 from ..mm.reclaim import Watermarks
 from ..units import PAGEBLOCK_FRAMES
@@ -95,10 +95,19 @@ class ContiguitasKernel(LinuxKernel):
         self._refresh_watermarks()
 
     def _refresh_watermarks(self) -> None:
+        # Effective (not geometric) frames: hard-offlined holes no
+        # longer back any allocation, so watermarks track what the
+        # region can actually serve.
         self._watermarks = {
-            "movable": Watermarks.for_frames(self.movable.nr_frames),
-            "unmovable": Watermarks.for_frames(self.unmovable.nr_frames),
+            "movable": Watermarks.for_frames(
+                self.layout.effective_movable_frames),
+            "unmovable": Watermarks.for_frames(
+                self.layout.effective_unmovable_frames),
         }
+
+    def _note_offline(self, pfn: int) -> None:
+        self.layout.note_offline(pfn)
+        self._refresh_watermarks()
 
     # -- routing -----------------------------------------------------------
 
@@ -200,6 +209,9 @@ class ContiguitasKernel(LinuxKernel):
             pfn = allocator.alloc(order, mt, source, self.now, pinned)
             if pfn is not None:
                 return pfn
+            pfn = self._oom_rescue(allocator, order, mt, source, pinned)
+            if pfn is not None:
+                return pfn
             raise OutOfMemoryError(
                 f"{self.name}: unmovable region exhausted "
                 f"(order-{order}, {allocator.nr_free} frames free)")
@@ -236,6 +248,9 @@ class ContiguitasKernel(LinuxKernel):
         pfn = allocator.alloc(order, mt, source, self.now, pinned)
         if pfn is not None:
             return pfn
+        pfn = self._oom_rescue(allocator, order, mt, source, pinned)
+        if pfn is not None:
+            return pfn
         raise OutOfMemoryError(
             f"{self.name}: movable region exhausted "
             f"(order-{order}, {allocator.nr_free} frames free)")
@@ -270,10 +285,17 @@ class ContiguitasKernel(LinuxKernel):
                     handle.order, MigrateType.UNMOVABLE, prefer=prefer)
             if dst is not None:
                 src = handle.pfn
-                move_allocation(self.mem, src, dst)
-                self.movable.free_block(src, handle.order)
-                self.handles.relocate(src, dst)
-                self.stat.inc(ev.PIN_MIGRATIONS)
+                try:
+                    migrate_with_retry(self.mem, src, dst, stat=self.stat)
+                except MigrationError:
+                    # Transient pin/busy persisted across the retry
+                    # budget: give the captured block back and fall
+                    # through to pin-in-place.
+                    self.unmovable.free_block(dst, handle.order)
+                else:
+                    self.movable.free_block(src, handle.order)
+                    self.handles.relocate(src, dst)
+                    self.stat.inc(ev.PIN_MIGRATIONS)
             # else: pin in place — the pollution Linux always suffers;
             # counted so experiments can detect it.
         handle.pinned = True
@@ -334,6 +356,8 @@ class ContiguitasKernel(LinuxKernel):
 
     def advance(self, dt: int = 1000) -> None:
         self.now += dt
+        if _fs_uce.armed:
+            self._inject_uce()
         self.psi.sample(dt)
         self.region_pressure.sample(dt)
         self._periodic_work()

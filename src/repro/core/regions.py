@@ -33,6 +33,13 @@ class RegionLayout:
     boundary_block: int
     min_unmovable_blocks: int = 2
     max_unmovable_blocks: int | None = None
+    #: Frames hard-offlined by ``memory_failure`` in each region.  Pure
+    #: capacity accounting: the offlined frames themselves stay in the
+    #: frame arrays as poisoned placeholders, and a pageblock containing
+    #: one can never be evacuated, so holes never cross the boundary and
+    #: these counters never need re-attribution on a resize.
+    offlined_movable: int = 0
+    offlined_unmovable: int = 0
 
     def __post_init__(self) -> None:
         if self.max_unmovable_blocks is None:
@@ -79,6 +86,26 @@ class RegionLayout:
 
     def in_unmovable(self, pfn: int) -> bool:
         return pfn >= self.boundary_pfn
+
+    # -- offline (hwpoison) accounting ------------------------------------
+
+    def note_offline(self, pfn: int) -> None:
+        """Record that frame *pfn* went offline for good; the effective
+        capacity of its region shrinks by one frame."""
+        if self.in_unmovable(pfn):
+            self.offlined_unmovable += 1
+        else:
+            self.offlined_movable += 1
+
+    @property
+    def effective_movable_frames(self) -> int:
+        """Movable-region frames that can actually hold data."""
+        return self.movable_frames - self.offlined_movable
+
+    @property
+    def effective_unmovable_frames(self) -> int:
+        """Unmovable-region frames that can actually hold data."""
+        return self.unmovable_frames - self.offlined_unmovable
 
     # -- boundary moves ----------------------------------------------------
 

@@ -28,6 +28,12 @@ class ConfigurationError(ReproError):
     """Invalid simulator or kernel configuration."""
 
 
+class WorkerCrashError(ReproError):
+    """A fleet worker process died mid-scan (injected by the
+    ``fleet.worker.crash`` fault site or a genuine crash); the supervised
+    executor catches it, requeues the payload, and retries."""
+
+
 class HardwareProtocolError(ReproError):
     """Contiguitas-HW protocol violation (e.g. migrating a page that is
     already under migration, or clearing an entry that does not exist)."""

@@ -1,0 +1,42 @@
+"""Deterministic fault injection and the plans that drive it.
+
+The paper's design brief is surviving adversity — pinned DMA pages
+that refuse to migrate (§2.1), regions resizing under pressure, fleet
+churn — so the simulator injects those adversities on purpose:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultSpec`,
+  declarative and picklable, recorded in run manifests;
+* :mod:`repro.faults.injector` — :class:`FaultSite` hooks with a
+  tracepoint-style one-branch disabled path, the process-wide
+  :data:`FAULTS` registry, and the :func:`injecting` context manager.
+
+Same seed + same plan ⇒ the same fault sequence ⇒ bit-identical
+manifests; see ``docs/ROBUSTNESS.md`` for the fault taxonomy and the
+degradation semantics each site exercises.
+"""
+
+from .injector import (
+    FAULTS,
+    FaultRegistry,
+    FaultSite,
+    fault_site,
+    injecting,
+)
+from .plan import (
+    KNOWN_SITES,
+    NAMED_PLANS,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "FAULTS",
+    "KNOWN_SITES",
+    "NAMED_PLANS",
+    "FaultPlan",
+    "FaultRegistry",
+    "FaultSite",
+    "FaultSpec",
+    "fault_site",
+    "injecting",
+]

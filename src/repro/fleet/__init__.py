@@ -1,6 +1,6 @@
 """Fleet study tooling: simulated servers, sampling, statistics (§2.4)."""
 
-from .engine import resolve_workers, run_fleet
+from .engine import WorkerOutcome, resolve_workers, run_fleet
 from .report import render_report
 from .sampler import FleetSample, sample_fleet
 from .server import FLEET_SERVICES, ServerConfig, ServerScan, SimulatedServer
@@ -12,6 +12,7 @@ __all__ = [
     "ServerConfig",
     "ServerScan",
     "SimulatedServer",
+    "WorkerOutcome",
     "resolve_workers",
     "run_fleet",
     "cdf_at",

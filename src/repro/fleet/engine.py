@@ -1,64 +1,162 @@
-"""Parallel fleet execution: fan per-server simulations across cores.
+"""Supervised fleet execution: fan per-server simulations across cores.
 
 The fleet survey (§2.4) runs N *independent* simulated servers — an
-embarrassingly parallel job.  :func:`run_fleet` dispatches the servers to
-a :class:`~concurrent.futures.ProcessPoolExecutor` in index order and
-returns the scans in index order, so the result is bit-identical to the
-serial loop it replaces:
+embarrassingly parallel job.  :func:`run_fleet` dispatches one payload per
+task to a :class:`~concurrent.futures.ProcessPoolExecutor` under a
+supervisor loop that retries failures with capped exponential backoff,
+recycles stragglers past a per-server timeout, and survives worker
+crashes — both genuine ones (a dead process breaks the whole pool, which
+is rebuilt boundedly) and injected ``fleet.worker.crash`` faults (raised
+inside the worker by the payload wrapper).  The result is bit-identical
+to the serial loop it replaces:
 
 * each server is seeded ``base_seed + index`` regardless of which worker
-  runs it or in which order workers finish;
+  runs it, in which order workers finish, or how many times the payload
+  was retried — a retried server replays the same seed and produces the
+  same scan;
 * servers share no mutable state (each builds its own kernel), so the
-  only thing crossing the process boundary is the (config, seed) payload
-  in and the :class:`~repro.fleet.server.ServerScan` out — both plain
-  picklable dataclasses;
-* ``executor.map`` preserves submission order on the way back.
+  only thing crossing the process boundary is the payload tuple in and
+  the :class:`~repro.fleet.server.ServerScan` out;
+* every scan lands in its per-index result slot, so the returned list is
+  in index order whatever the completion order.
 
-Chunked dispatch (several servers per task) amortises process-pool IPC;
-with the default ~4 chunks per worker the tail-straggler cost stays low
-while per-task overhead is negligible against multi-second servers.
+Graceful degradation: a payload that exhausts its retry budget yields a
+*degraded* placeholder scan (``failed=True`` plus the final error, which
+carries the server index, seed, and attempt) instead of aborting the run,
+so a chaos campaign always comes back with all N scans.
 
 Worker count resolution order: explicit ``workers=`` argument, the
 ``REPRO_FLEET_WORKERS`` environment variable, then ``os.cpu_count()``.
-Anything that resolves to one worker (including single-core machines and
-``n_servers == 1``) takes the serial path with no pool at all — the
-fallback keeps tests and constrained CI deterministic and fork-free.
+Negative counts raise :class:`~repro.errors.ConfigurationError` from
+either spelling.  Anything that resolves to one worker (including
+single-core machines and ``n_servers == 1``) takes the serial path with
+no pool at all — same supervision and retry semantics, no fork.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, WorkerCrashError
 from ..telemetry import tracepoint
 from .server import ServerConfig, ServerScan, SimulatedServer
 
 _tp_run_start = tracepoint("fleet.run.start")
 _tp_server_done = tracepoint("fleet.server.done")
+_tp_server_retry = tracepoint("fleet.server.retry")
+_tp_server_fail = tracepoint("fleet.server.fail")
 _tp_run_finish = tracepoint("fleet.run.finish")
 
 #: Environment override for the default worker count (0 or 1 = serial).
 WORKERS_ENV = "REPRO_FLEET_WORKERS"
 
-#: Target number of map chunks per worker when chunk_size is unset.
-_CHUNKS_PER_WORKER = 4
+#: Failed payloads are retried this many times before degrading.
+DEFAULT_MAX_RETRIES = 2
+
+#: First-retry backoff in seconds; doubles per attempt up to the cap.
+DEFAULT_BACKOFF_BASE = 0.05
+DEFAULT_BACKOFF_CAP = 1.0
+
+#: Submitted-but-unfinished payloads per worker; a small overcommit keeps
+#: workers busy without queueing the whole fleet into the pool at once
+#: (queued payloads cannot be rescheduled cheaply after a pool break).
+_INFLIGHT_PER_WORKER = 2
+
+#: A broken pool is rebuilt at most this many times before the supervisor
+#: gives up on parallelism and drains the remaining payloads serially.
+_MAX_POOL_REBUILDS = 3
 
 
 def scan_one(payload: tuple[ServerConfig | None, int]) -> ServerScan:
-    """Run a single simulated server; module-level so it pickles."""
+    """Run a single simulated server; module-level so it pickles.
+
+    Unsupervised compatibility shim — :func:`_scan_payload` is the
+    supervised equivalent and is what :func:`run_fleet` dispatches.
+    """
     config, seed = payload
     return SimulatedServer(config, seed=seed).run()
+
+
+@dataclass(frozen=True)
+class WorkerOutcome:
+    """One worker attempt's result, with enough context to debug a
+    failure without the worker's stdout: every error string carries the
+    server index, the seed, and the attempt number."""
+
+    index: int
+    seed: int
+    attempt: int
+    scan: ServerScan | None = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.scan is not None
+
+
+def _scan_payload(
+    payload: tuple[int, ServerConfig | None, int, int],
+) -> WorkerOutcome:
+    """Run one supervised server attempt; module-level so it pickles.
+
+    Catches *every* exception and returns it as a contextualised
+    :class:`WorkerOutcome` error — the supervisor decides whether to
+    retry, not the worker.  Injected ``fleet.worker.crash`` faults raise
+    :class:`~repro.errors.WorkerCrashError` here, before the simulation
+    starts, so a crashed attempt leaves no partial state behind and the
+    retry replays the identical seed.
+    """
+    index, config, seed, attempt = payload
+    try:
+        plan = config.fault_plan if config is not None else None
+        if plan is not None and plan.should_crash(seed, attempt):
+            raise WorkerCrashError(
+                f"injected worker crash (server {index}, seed {seed}, "
+                f"attempt {attempt})")
+        scan = SimulatedServer(config, seed=seed).run()
+    except Exception as exc:
+        return WorkerOutcome(
+            index=index, seed=seed, attempt=attempt,
+            error=(f"server {index} (seed {seed}, attempt {attempt}): "
+                   f"{type(exc).__name__}: {exc}\n"
+                   f"{traceback.format_exc(limit=8)}"))
+    return WorkerOutcome(index=index, seed=seed, attempt=attempt, scan=scan)
+
+
+def _degraded_scan(error: str) -> ServerScan:
+    """Placeholder scan for a server whose retry budget ran out: the
+    fleet result stays complete (all N indices present) and aggregates
+    skip it via ``failed=True``."""
+    return ServerScan(
+        uptime_steps=0, free_frames=0, free_2m_blocks=0,
+        contiguity={}, unmovable={}, sources={}, vmstat={},
+        failed=True, error=error)
+
+
+def _backoff(attempt: int, base: float,
+             cap: float = DEFAULT_BACKOFF_CAP) -> float:
+    """Delay before retrying after failed *attempt* (0-based): capped
+    exponential, ``min(cap, base * 2**attempt)``.  ``base=0`` disables
+    sleeping entirely (the spelling tests use)."""
+    if base <= 0.0:
+        return 0.0
+    return min(cap, base * (2 ** attempt))
 
 
 def resolve_workers(workers: int | None = None) -> int:
     """Resolve an effective worker count (>= 1).
 
     ``None`` falls back to :data:`WORKERS_ENV`, then ``os.cpu_count()``.
-    A :data:`WORKERS_ENV` value that is not a base-10 integer, or is
-    negative, raises :class:`~repro.errors.ConfigurationError` — a typo'd
-    environment should fail loudly, not silently run serial.  ``0`` is the
+    Negative counts raise :class:`~repro.errors.ConfigurationError`
+    whether they arrive via the environment or the explicit argument —
+    a typo should fail loudly, not silently run serial.  ``0`` is the
     documented "force serial" spelling and stays valid.
     """
     if workers is None:
@@ -74,6 +172,9 @@ def resolve_workers(workers: int | None = None) -> int:
                     f"{WORKERS_ENV}={env!r} must be >= 0 (0 = serial)")
         else:
             workers = os.cpu_count() or 1
+    elif workers < 0:
+        raise ConfigurationError(
+            f"workers={workers} must be >= 0 (0 = serial)")
     return max(1, workers)
 
 
@@ -81,46 +182,231 @@ def run_fleet(n_servers: int,
               config: ServerConfig | None = None,
               base_seed: int = 0,
               workers: int | None = None,
-              chunk_size: int | None = None) -> list[ServerScan]:
-    """Run *n_servers* independent servers, parallel when possible.
+              chunk_size: int | None = None,
+              max_retries: int | None = None,
+              server_timeout: float | None = None,
+              backoff_base: float | None = None) -> list[ServerScan]:
+    """Run *n_servers* independent servers under supervision.
 
     Returns scans ordered by server index.  Identical output to
     ``[SimulatedServer(config, seed=base_seed + i).run() for i in ...]``
-    for every worker count, including 1 (the serial fallback).
+    for every worker count, including 1 (the serial fallback) — and,
+    when faults are injected, for every retried-then-recovered server.
+
+    Args:
+        max_retries: failed payloads are retried this many times
+            (default :data:`DEFAULT_MAX_RETRIES`) before yielding a
+            degraded ``failed=True`` scan.
+        server_timeout: seconds a single attempt may run before the
+            supervisor abandons it and charges a retry (None = no
+            limit).  The straggler's eventual result is discarded.
+        backoff_base: first-retry delay, doubling per attempt up to
+            :data:`DEFAULT_BACKOFF_CAP` (0 disables sleeping).
+        chunk_size: accepted for API compatibility and ignored — the
+            supervisor dispatches one payload per task so any payload
+            can be individually retried or timed out.
     """
+    del chunk_size  # pre-supervisor knob; single-payload tasks now
+    if max_retries is None:
+        max_retries = DEFAULT_MAX_RETRIES
+    if backoff_base is None:
+        backoff_base = DEFAULT_BACKOFF_BASE
     payloads = [(config, base_seed + i) for i in range(n_servers)]
     nworkers = min(resolve_workers(workers), max(1, n_servers))
-    traced = _tp_run_start.enabled or _tp_run_finish.enabled
-    t0 = time.perf_counter() if traced or _tp_server_done.enabled else 0.0
+    t0 = time.perf_counter()
     if _tp_run_start.enabled:
         _tp_run_start.emit(n_servers=n_servers, workers=nworkers,
                            base_seed=base_seed)
     if nworkers <= 1:
-        scans = []
-        for i, p in enumerate(payloads):
-            t1 = time.perf_counter() if _tp_server_done.enabled else 0.0
-            scan = scan_one(p)
-            if _tp_server_done.enabled:
-                _tp_server_done.emit(index=i, seed=p[1],
-                                     uptime_steps=scan.uptime_steps,
-                                     seconds=time.perf_counter() - t1)
+        scans: list[ServerScan] = []
+        n_failed = 0
+        for i, (cfg, seed) in enumerate(payloads):
+            scan, failed = _supervise_one(
+                i, cfg, seed, 0, max_retries, backoff_base, t0)
             scans.append(scan)
+            n_failed += failed
     else:
-        if chunk_size is None:
-            chunk_size = max(1, n_servers // (nworkers * _CHUNKS_PER_WORKER))
-        with ProcessPoolExecutor(max_workers=nworkers) as pool:
-            scans = []
-            for i, scan in enumerate(pool.map(scan_one, payloads,
-                                              chunksize=chunk_size)):
-                if _tp_server_done.enabled:
-                    # Parallel timing is per-result arrival in the parent;
-                    # report elapsed-since-start, not per-server CPU time.
-                    _tp_server_done.emit(
-                        index=i, seed=payloads[i][1],
-                        uptime_steps=scan.uptime_steps,
-                        seconds=time.perf_counter() - t0)
-                scans.append(scan)
+        scans, n_failed = _run_supervised(
+            payloads, nworkers, max_retries, server_timeout,
+            backoff_base, t0)
     if _tp_run_finish.enabled:
         _tp_run_finish.emit(n_servers=n_servers, workers=nworkers,
+                            n_failed=n_failed,
                             seconds=time.perf_counter() - t0)
     return scans
+
+
+def _supervise_one(index: int, config: ServerConfig | None, seed: int,
+                   start_attempt: int, max_retries: int,
+                   backoff_base: float, t0: float) -> tuple[ServerScan, bool]:
+    """Drive one payload to completion in-process (the serial engine and
+    the broken-pool drain): bounded retries with capped exponential
+    backoff, then a degraded scan.  Returns ``(scan, degraded?)``."""
+    error = ""
+    for attempt in range(start_attempt, max_retries + 1):
+        if attempt > start_attempt:
+            delay = _backoff(attempt - 1, backoff_base)
+            if delay > 0.0:
+                time.sleep(delay)
+        outcome = _scan_payload((index, config, seed, attempt))
+        if outcome.ok:
+            if _tp_server_done.enabled:
+                _tp_server_done.emit(index=index, seed=seed,
+                                     uptime_steps=outcome.scan.uptime_steps,
+                                     seconds=time.perf_counter() - t0)
+            return outcome.scan, False
+        error = outcome.error
+        if attempt < max_retries and _tp_server_retry.enabled:
+            _tp_server_retry.emit(index=index, seed=seed, attempt=attempt)
+    if _tp_server_fail.enabled:
+        _tp_server_fail.emit(index=index, seed=seed,
+                             attempts=max_retries + 1 - start_attempt,
+                             error=error.splitlines()[0] if error else "")
+    return _degraded_scan(error), True
+
+
+def _run_supervised(payloads: list[tuple[ServerConfig | None, int]],
+                    nworkers: int, max_retries: int,
+                    server_timeout: float | None, backoff_base: float,
+                    t0: float) -> tuple[list[ServerScan], int]:
+    """The parallel supervisor: submit/collect loop over a process pool.
+
+    Invariants: every index ends up with exactly one scan (real or
+    degraded); a payload is charged one attempt per submission, timeout,
+    or pool break; attempts never exceed ``max_retries + 1``.
+    """
+    n = len(payloads)
+    results: list[ServerScan | None] = [None] * n
+    n_failed = 0
+    pending: deque[tuple[int, int]] = deque((i, 0) for i in range(n))
+    delayed: list[tuple[float, int, int]] = []   # (ready_at, index, attempt)
+    inflight: dict = {}                          # future -> (idx, att, ddl)
+    rebuilds = 0
+    pool = ProcessPoolExecutor(max_workers=nworkers)
+
+    def handle_failure(index: int, attempt: int, error: str) -> None:
+        nonlocal n_failed
+        seed = payloads[index][1]
+        if attempt < max_retries:
+            if _tp_server_retry.enabled:
+                _tp_server_retry.emit(index=index, seed=seed, attempt=attempt)
+            delay = _backoff(attempt, backoff_base)
+            if delay > 0.0:
+                heapq.heappush(
+                    delayed,
+                    (time.perf_counter() + delay, index, attempt + 1))
+            else:
+                pending.append((index, attempt + 1))
+        else:
+            results[index] = _degraded_scan(error)
+            n_failed += 1
+            if _tp_server_fail.enabled:
+                _tp_server_fail.emit(
+                    index=index, seed=seed, attempts=attempt + 1,
+                    error=error.splitlines()[0] if error else "")
+
+    try:
+        while pending or delayed or inflight:
+            now = time.perf_counter()
+            while delayed and delayed[0][0] <= now:
+                _, index, attempt = heapq.heappop(delayed)
+                pending.append((index, attempt))
+            while pending and len(inflight) < nworkers * _INFLIGHT_PER_WORKER:
+                index, attempt = pending.popleft()
+                cfg, seed = payloads[index]
+                fut = pool.submit(_scan_payload, (index, cfg, seed, attempt))
+                deadline = (now + server_timeout
+                            if server_timeout is not None else None)
+                inflight[fut] = (index, attempt, deadline)
+            if not inflight:
+                # Everything left is backing off; sleep until the first
+                # delayed payload is ready for resubmission.
+                time.sleep(max(0.0, delayed[0][0] - time.perf_counter()))
+                continue
+
+            timeout = None
+            if delayed:
+                timeout = max(0.0, delayed[0][0] - now)
+            ddls = [d for (_i, _a, d) in inflight.values() if d is not None]
+            if ddls:
+                until_ddl = max(0.0, min(ddls) - now)
+                timeout = (until_ddl if timeout is None
+                           else min(timeout, until_ddl))
+            done, _ = wait(list(inflight), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+
+            broken = False
+            for fut in done:
+                index, attempt, _ddl = inflight.pop(fut)
+                try:
+                    outcome = fut.result()
+                except Exception as exc:
+                    if isinstance(exc, BrokenProcessPool):
+                        broken = True
+                    seed = payloads[index][1]
+                    handle_failure(
+                        index, attempt,
+                        f"server {index} (seed {seed}, attempt {attempt}): "
+                        f"pool failure: {type(exc).__name__}: {exc}")
+                    continue
+                if outcome.ok:
+                    results[index] = outcome.scan
+                    if _tp_server_done.enabled:
+                        _tp_server_done.emit(
+                            index=index, seed=outcome.seed,
+                            uptime_steps=outcome.scan.uptime_steps,
+                            seconds=time.perf_counter() - t0)
+                else:
+                    handle_failure(index, attempt, outcome.error)
+
+            if broken:
+                # A worker died hard and took the pool down; every other
+                # in-flight payload is lost with it.  Charge each an
+                # attempt and rebuild, boundedly.
+                for fut, (index, attempt, _ddl) in list(inflight.items()):
+                    seed = payloads[index][1]
+                    handle_failure(
+                        index, attempt,
+                        f"server {index} (seed {seed}, attempt {attempt}): "
+                        f"lost to broken process pool")
+                inflight.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                rebuilds += 1
+                if rebuilds > _MAX_POOL_REBUILDS:
+                    # Parallelism itself is the failure mode here; drain
+                    # the remainder serially — degraded throughput beats
+                    # a dead run.
+                    while delayed:
+                        _, index, attempt = heapq.heappop(delayed)
+                        pending.append((index, attempt))
+                    while pending:
+                        index, attempt = pending.popleft()
+                        cfg, seed = payloads[index]
+                        scan, failed = _supervise_one(
+                            index, cfg, seed, attempt, max_retries,
+                            backoff_base, t0)
+                        results[index] = scan
+                        n_failed += failed
+                    break
+                pool = ProcessPoolExecutor(max_workers=nworkers)
+                continue
+
+            if server_timeout is not None:
+                # Straggler control: charge timed-out payloads an attempt
+                # and resubmit elsewhere; the stuck worker's eventual
+                # result is simply dropped (its future left inflight no
+                # longer exists in the map).
+                now = time.perf_counter()
+                expired = [fut for fut, (_i, _a, d) in inflight.items()
+                           if d is not None and d <= now]
+                for fut in expired:
+                    index, attempt, _ddl = inflight.pop(fut)
+                    fut.cancel()
+                    seed = payloads[index][1]
+                    handle_failure(
+                        index, attempt,
+                        f"server {index} (seed {seed}, attempt {attempt}): "
+                        f"timed out after {server_timeout:.3f}s")
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return results, n_failed

@@ -61,17 +61,29 @@ class FleetSample:
     #: equal (the manifest carries volatile facts like timestamps).
     manifest: dict | None = field(default=None, compare=False, repr=False)
 
+    def completed_scans(self) -> list[ServerScan]:
+        """Scans from servers that actually ran (degraded ``failed=True``
+        placeholders excluded); what every aggregate is computed over."""
+        return [s for s in self.scans if not s.failed]
+
+    def failed_indices(self) -> list[int]:
+        """Indices of servers that exhausted their retry budget; scans
+        are index-ordered so positions are server indices."""
+        return [i for i, s in enumerate(self.scans) if s.failed]
+
     def series(self, metric: str, granularity: str) -> list[float]:
         """Per-server values of one scan *metric* at one *granularity*.
 
         ``metric`` is ``"contiguity"`` (free-contiguity fraction) or
         ``"unmovable"`` (unmovable-block fraction); granularities are the
-        scan-report keys (``"4KB"``/``"2MB"``/``"1GB"``...).
+        scan-report keys (``"4KB"``/``"2MB"``/``"1GB"``...).  Degraded
+        scans carry no measurements and are skipped.
         """
         if metric not in SERIES_METRICS:
             raise ConfigurationError(
                 f"unknown series metric {metric!r}; one of {SERIES_METRICS}")
-        return [getattr(s, metric)[granularity] for s in self.scans]
+        return [getattr(s, metric)[granularity]
+                for s in self.completed_scans()]
 
     def contiguity_values(self, granularity: str) -> list[float]:
         """Deprecated: use ``series("contiguity", granularity)``."""
@@ -93,11 +105,12 @@ class FleetSample:
         0.0 rather than a ZeroDivisionError (mirrors
         :meth:`source_breakdown`'s empty-fleet behaviour).
         """
-        if not self.scans:
+        live = self.completed_scans()
+        if not live:
             return 0.0
-        zeroes = sum(1 for s in self.scans
+        zeroes = sum(1 for s in live
                      if s.contiguity[granularity] == 0.0)
-        return zeroes / len(self.scans)
+        return zeroes / len(live)
 
     def median_unmovable(self, granularity: str = "2MB") -> float:
         return median(self.series("unmovable", granularity))
@@ -105,9 +118,10 @@ class FleetSample:
     def uptime_correlation(self) -> float:
         """Pearson correlation of uptime vs free 2 MiB block count
         (the paper measures 0.00286 — effectively none)."""
+        live = self.completed_scans()
         return pearson(
-            [float(s.uptime_steps) for s in self.scans],
-            [float(s.free_2m_blocks) for s in self.scans],
+            [float(s.uptime_steps) for s in live],
+            [float(s.free_2m_blocks) for s in live],
         )
 
     def source_breakdown(self) -> dict[AllocSource, float]:
@@ -131,13 +145,15 @@ class FleetSample:
     def snapshot(self) -> dict:
         """Fleet-level aggregates as one plain dict
         (:class:`~repro.telemetry.Snapshotable` surface)."""
+        live = self.completed_scans()
         snap = {
             "n_servers": len(self.scans),
+            "n_failed_servers": len(self.scans) - len(live),
             "fraction_without_any_2mb": self.fraction_without_any("2MB"),
             "median_unmovable_2mb": self.median_unmovable("2MB")
-            if self.scans else 0.0,
+            if live else 0.0,
             "uptime_correlation": self.uptime_correlation()
-            if len(self.scans) > 1 else 0.0,
+            if len(live) > 1 else 0.0,
         }
         # Flattened so manifest diffs show one row per source.
         for src, frac in sorted(self.source_breakdown().items(),
@@ -163,6 +179,10 @@ def _manifest_config(n_servers: int, config: ServerConfig | None,
         "min_uptime_steps": cfg.min_uptime_steps,
         "max_uptime_steps": cfg.max_uptime_steps,
         "utilization_range": list(cfg.utilization_range),
+        # Declarative chaos rides in the manifest so a chaos run diffs
+        # cleanly against a clean run of the same seed.
+        "fault_plan": (cfg.fault_plan.snapshot()
+                       if cfg.fault_plan is not None else None),
     }
 
 
@@ -170,7 +190,10 @@ def sample_fleet(n_servers: int = 50,
                  config: ServerConfig | None = None,
                  base_seed: int = 0,
                  workers: int | None = None,
-                 telemetry: TelemetryConfig | None = None) -> FleetSample:
+                 telemetry: TelemetryConfig | None = None,
+                 max_retries: int | None = None,
+                 server_timeout: float | None = None,
+                 backoff_base: float | None = None) -> FleetSample:
     """Run *n_servers* independent simulated servers and scan each.
 
     Servers run in parallel across processes when cores allow (see
@@ -184,6 +207,11 @@ def sample_fleet(n_servers: int = 50,
     ``telemetry.manifest_path`` when set).  The manifest's deterministic
     view is identical for every worker count: per-server vmstat counters
     are snapshotted inside the seeded workers and merged here.
+
+    *max_retries*, *server_timeout*, and *backoff_base* tune the
+    supervised engine (see :func:`repro.fleet.engine.run_fleet`); with a
+    ``config.fault_plan`` installed this is the chaos-campaign entry
+    point — the same seed and plan always produce the same manifest.
     """
     tcfg = telemetry or TelemetryConfig()
     sink = None
@@ -192,12 +220,16 @@ def sample_fleet(n_servers: int = 50,
                 else RingBufferSink(tcfg.ring_capacity))
         with tracing(*tcfg.trace_patterns, sink=sink):
             scans = run_fleet(n_servers, config=config, base_seed=base_seed,
-                              workers=workers)
+                              workers=workers, max_retries=max_retries,
+                              server_timeout=server_timeout,
+                              backoff_base=backoff_base)
         if isinstance(sink, JsonlSink):
             sink.close()
     else:
         scans = run_fleet(n_servers, config=config, base_seed=base_seed,
-                          workers=workers)
+                          workers=workers, max_retries=max_retries,
+                          server_timeout=server_timeout,
+                          backoff_base=backoff_base)
 
     sample = FleetSample(scans=scans)
     if telemetry is not None and tcfg.emit_manifest:

@@ -20,6 +20,7 @@ from ..analysis.contiguity import (
     free_block_count,
     unmovable_report,
 )
+from ..faults import FaultPlan, injecting
 from ..kalloc.sources import unmovable_breakdown
 from ..mm.kernel import KernelConfig, LinuxKernel
 from ..mm.page import AllocSource
@@ -40,13 +41,23 @@ class ServerScan:
     sources: dict[AllocSource, int]
     #: The server kernel's vmstat counters at scan time.  Computed inside
     #: the (seeded, deterministic) worker so fleet manifests aggregate the
-    #: same counters whatever the worker count.
+    #: same counters whatever the worker count.  Chaos runs also fold the
+    #: non-zero ``fault.*`` fire counters in here, so injected faults are
+    #: visible in manifests while fault-free servers stay bit-identical
+    #: to a clean run.
     vmstat: dict[str, int] = field(default_factory=dict)
+    #: Degradation markers: a scan whose server exhausted its retry
+    #: budget is a placeholder with ``failed=True`` and the final error
+    #: (see :func:`repro.fleet.engine.run_fleet`); aggregates skip it.
+    failed: bool = False
+    error: str = ""
 
     def snapshot(self) -> dict:
         """Scalar measurements plus counters as one flat-ish dict
-        (:class:`~repro.telemetry.Snapshotable` surface)."""
-        return {
+        (:class:`~repro.telemetry.Snapshotable` surface).  Degradation
+        keys appear only on failed scans so healthy-run snapshots stay
+        byte-identical to pre-fault-injection ones."""
+        snap = {
             "uptime_steps": self.uptime_steps,
             "free_frames": self.free_frames,
             "free_2m_blocks": self.free_2m_blocks,
@@ -55,6 +66,10 @@ class ServerScan:
             "sources": {src.name: n for src, n in self.sources.items()},
             "vmstat": dict(self.vmstat),
         }
+        if self.failed:
+            snap["failed"] = True
+            snap["error"] = self.error
+        return snap
 
 
 @dataclass
@@ -73,6 +88,10 @@ class ServerConfig:
     #: Per-server memory utilisation is drawn from this range — fleets
     #: are not uniformly full, which is what gives Fig. 4 its spread.
     utilization_range: tuple[float, float] = (0.70, 0.99)
+    #: Declarative chaos: when set, the plan is installed inside each
+    #: worker (seeded per server) for the duration of its run, and the
+    #: ``fleet.worker.crash`` spec drives injected crashes in the engine.
+    fault_plan: FaultPlan | None = None
 
 
 FLEET_SERVICES = (WEB, CACHE_A, CACHE_B, CI)
@@ -88,6 +107,23 @@ class SimulatedServer:
         self.rng = random.Random(seed)
 
     def run(self) -> ServerScan:
+        """Run the server's whole life under its fault plan (if any) and
+        scan it.  The plan is installed with this server's seed, so the
+        same (seed, plan) pair fires the same faults wherever and however
+        often the payload is executed — the property that makes retried
+        chaos runs bit-identical to clean runs of the same seed."""
+        plan = self.config.fault_plan
+        with injecting(plan, seed=self.seed) as faults:
+            scan = self._run_scan()
+            # Counts only under a plan: without one `faults` is the
+            # passthrough global registry, whose counters may be stale
+            # from an earlier in-process chaos run.
+            counts = faults.fire_counts() if plan is not None else {}
+        if counts:
+            scan.vmstat.update(counts)
+        return scan
+
+    def _run_scan(self) -> ServerScan:
         cfg = self.config
         kconfig = cfg.kernel_config
         if kconfig is None:

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError, FreelistDivergenceError
+from ..faults import fault_site
 from ..telemetry import tracepoint
 from ..units import MAX_ORDER, PAGEBLOCK_FRAMES
 from . import vmstat as ev
@@ -38,6 +39,12 @@ _tp_alloc = tracepoint("mm.buddy.alloc")
 _tp_free = tracepoint("mm.buddy.free")
 _tp_fallback = tracepoint("mm.buddy.fallback")
 _tp_steal = tracepoint("mm.buddy.steal")
+
+# Fault site: the allocation fails as if the zone dipped below its
+# watermarks, regardless of actual free space.  The kernel facade
+# responds with its real slow path (reclaim escalation, compaction,
+# then the OOM fallback) — see docs/ROBUSTNESS.md.
+_fs_watermark = fault_site("mm.buddy.watermark")
 
 
 class BuddyAllocator:
@@ -193,6 +200,10 @@ class BuddyAllocator:
         Returns ``None`` when nothing fits — the caller (kernel facade)
         decides whether to reclaim, compact, or fail.
         """
+        if _fs_watermark.armed and _fs_watermark.fire(order=order,
+                                                      label=self.label):
+            self.stat.inc(ev.ALLOC_FAIL)
+            return None
         direction = prefer or self.prefer
         pfn = self._rmqueue(order, migratetype, direction)
         if pfn is None and self.fallback_enabled:

@@ -22,7 +22,8 @@ from ..units import MAX_ORDER
 from . import vmstat as ev
 from .buddy import BuddyAllocator
 from .handle import HandleRegistry
-from .migrate import MigrationCostModel, can_migrate_sw, move_allocation
+from ..errors import MigrationError
+from .migrate import MigrationCostModel, can_migrate_sw, migrate_with_retry
 from .physmem import PhysicalMemory
 
 _tp_start = tracepoint("mm.compact.start")
@@ -37,6 +38,10 @@ class CompactionResult:
     satisfied: bool = False
     pages_migrated: int = 0
     pages_skipped_unmovable: int = 0
+    #: Frames whose migration failed transiently (pin/busy) even after
+    #: the bounded retry in :func:`~repro.mm.migrate.migrate_with_retry`;
+    #: they stay in place for this run but remain movable for the next.
+    pages_failed_transient: int = 0
     downtime_cycles: int = 0
     blocks_scanned: int = 0
 
@@ -46,6 +51,7 @@ class CompactionResult:
             "satisfied": self.satisfied,
             "pages_migrated": self.pages_migrated,
             "pages_skipped_unmovable": self.pages_skipped_unmovable,
+            "pages_failed_transient": self.pages_failed_transient,
             "downtime_cycles": self.downtime_cycles,
             "blocks_scanned": self.blocks_scanned,
         }
@@ -54,6 +60,7 @@ class CompactionResult:
         self.satisfied = self.satisfied or other.satisfied
         self.pages_migrated += other.pages_migrated
         self.pages_skipped_unmovable += other.pages_skipped_unmovable
+        self.pages_failed_transient += other.pages_failed_transient
         self.downtime_cycles += other.downtime_cycles
         self.blocks_scanned += other.blocks_scanned
 
@@ -123,7 +130,16 @@ class Compactor:
                     continue
                 free_scan_floor = min(free_scan_floor,
                                       self.mem.pageblock_of(dst))
-                move_allocation(mem, src, dst)
+                try:
+                    migrate_with_retry(mem, src, dst, stat=self.stat)
+                except MigrationError:
+                    # Transient pin/busy persisted across the retry
+                    # budget: return the captured destination and leave
+                    # the page for the next run.
+                    allocator.free_block(dst, info.order)
+                    result.pages_failed_transient += info.nframes
+                    self.stat.inc(ev.COMPACT_FAIL, info.nframes)
+                    continue
                 allocator.free_block(src, info.order)
                 handles.relocate(src, dst)
                 result.pages_migrated += info.nframes

@@ -14,11 +14,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import MigrationError
 from ..units import MAX_ORDER
 from . import vmstat as ev
 from .buddy import BuddyAllocator
 from .handle import HandleRegistry
-from .migrate import MigrationCostModel, can_migrate_sw, move_allocation
+from .migrate import MigrationCostModel, can_migrate_sw, migrate_with_retry
 from .physmem import PhysicalMemory
 
 
@@ -73,13 +74,26 @@ class RangeEvacuator:
                 result.blocked_by = src
                 self.stat.inc(ev.MIGRATE_FAIL)
                 return result
+            if hardware_assisted and mem.range_poisoned(src, info.nframes):
+                # Hard-offlined cells: even the HW engine cannot copy
+                # out of a dead frame, so the range stays blocked.
+                result.blocked_by = src
+                self.stat.inc(ev.MIGRATE_FAIL)
+                return result
             dst = self._take_free_outside(
                 allocator, info.order, start_pfn, end_pfn)
             if dst is None:
                 result.blocked_by = src
                 self.stat.inc(ev.MIGRATE_FAIL)
                 return result
-            move_allocation(mem, src, dst, hardware_assisted)
+            try:
+                migrate_with_retry(mem, src, dst, hardware_assisted,
+                                   stat=self.stat)
+            except MigrationError:
+                allocator.free_block(dst, info.order)
+                result.blocked_by = src
+                self.stat.inc(ev.MIGRATE_FAIL)
+                return result
             allocator.free_block(src, info.order)
             handles.relocate(src, dst)
             result.pages_migrated += info.nframes

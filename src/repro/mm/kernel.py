@@ -20,16 +20,19 @@ from ..errors import (
     ConfigurationError,
     ContiguityError,
     DoubleFreeError,
+    MigrationError,
     OutOfMemoryError,
+    SimInvariantError,
 )
+from ..faults import fault_site
 from ..telemetry import set_sim_clock, tracepoint
 from ..units import GIGAPAGE_FRAMES, MAX_ORDER, PAGEBLOCK_FRAMES
 from . import vmstat as ev
-from .buddy import BuddyAllocator
+from .buddy import BuddyAllocator, _fs_watermark
 from .compaction import Compactor
 from .contig import RangeEvacuator
 from .handle import HandleRegistry, PageHandle
-from .migrate import MigrationCostModel
+from .migrate import MigrationCostModel, can_migrate_sw, migrate_with_retry
 from .page import AllocSource, MigrateType
 from .pageblock import PageblockTable
 from .physmem import PhysicalMemory
@@ -39,6 +42,10 @@ from .vmstat import VmStat
 
 _tp_oom = tracepoint("mm.kernel.oom")
 _tp_slowpath = tracepoint("mm.kernel.slowpath")
+
+# Fault site: an uncorrectable memory error strikes a random frame on
+# the next tick; ``memory_failure`` hard-offlines it (docs/ROBUSTNESS.md).
+_fs_uce = fault_site("mm.memory.uce")
 
 #: Default migrate type per allocation source (callers may override).
 DEFAULT_MIGRATETYPE: dict[AllocSource, MigrateType] = {
@@ -147,6 +154,13 @@ class LinuxKernel:
         # 2**shift high-order slow-path entries.
         self._compact_defer_shift = 0
         self._compact_skip_remaining = 0
+        #: Frames hard-offlined by :meth:`memory_failure`.
+        self._offlined = 0
+        #: Poisoned frames still inside live allocations; offlined for
+        #: good the moment their owner frees them (Linux's deferred
+        #: hwpoison handling).  This set — not the flag bit, which
+        #: ``mark_free`` clears with the rest — is the durable record.
+        self._deferred_offline: set[int] = set()
 
     # -- construction hooks (overridden by Contiguitas) -----------------
 
@@ -178,8 +192,15 @@ class LinuxKernel:
         """Advance simulated time by *dt* ticks (µs) and run periodic work:
         PSI sampling and kswapd-style background reclaim."""
         self.now += dt
+        if _fs_uce.armed:
+            self._inject_uce()
         self.psi.sample(dt)
         self._periodic_work()
+
+    def _inject_uce(self) -> None:
+        """One armed-UCE attempt: maybe strike a random frame this tick."""
+        if _fs_uce.fire(now=self.now):
+            self.memory_failure(_fs_uce.draw(self.mem.nframes))
 
     def _periodic_work(self) -> None:
         for alloc in self.allocators():
@@ -279,6 +300,9 @@ class LinuxKernel:
                     self._compact_defer_shift + 1, 6)
                 self._compact_skip_remaining = 1 << self._compact_defer_shift
 
+        pfn = self._oom_rescue(allocator, order, mt, source, pinned)
+        if pfn is not None:
+            return pfn
         self._record_stall(allocator, self.config.reclaim_stall_ticks)
         if _tp_oom.enabled:
             _tp_oom.emit(order=order, mt=int(mt), label=allocator.label,
@@ -286,6 +310,34 @@ class LinuxKernel:
         raise OutOfMemoryError(
             f"{self.name}: order-{order} {mt.name} allocation failed "
             f"({allocator.label}: {allocator.nr_free} frames free)")
+
+    def _oom_rescue(
+        self,
+        allocator: BuddyAllocator,
+        order: int,
+        mt: MigrateType,
+        source: AllocSource,
+        pinned: bool,
+    ) -> int | None:
+        """Last-ditch fallback before declaring OOM under injected
+        watermark failures: drop *every* reclaimable page (the OOM
+        killer's moral equivalent — sacrifice page cache wholesale
+        rather than fail the allocation) and retry once.  Returns the
+        rescued PFN or None when truly exhausted.
+
+        Active only while the ``mm.buddy.watermark`` site is armed:
+        injected failures strike regardless of actual free space, so a
+        final escalate-and-retry usually saves the allocation.  Genuine
+        OOM semantics (and the counters every clean-run experiment
+        depends on) are untouched — disarmed, this is one attribute
+        load and a branch, the same contract as the injection hooks."""
+        if not _fs_watermark.armed:
+            return None
+        self.reclaim_lru.reclaim(self.free_pages, allocator.nr_frames)
+        pfn = allocator.alloc(order, mt, source, self.now, pinned)
+        if pfn is not None:
+            self.stat.inc(ev.OOM_RESCUE)
+        return pfn
 
     def _record_stall(self, allocator: BuddyAllocator, ticks: float) -> None:
         self.psi.record_stall(ticks)
@@ -349,9 +401,12 @@ class LinuxKernel:
                     ok = False
                     break
                 src = handle.pfn
-                from .migrate import move_allocation
-
-                move_allocation(self.mem, src, dst)
+                try:
+                    migrate_with_retry(self.mem, src, dst, stat=self.stat)
+                except MigrationError:
+                    allocator.free_block(dst, handle.order)
+                    ok = False
+                    break
                 allocator.free_block(src, handle.order)
                 self.handles.relocate(src, dst)
                 budget -= handle.nframes
@@ -378,13 +433,26 @@ class LinuxKernel:
                 pcp.free(handle.pfn)
             else:
                 allocator.free(handle.pfn)
+        else:
+            # Gigapage-sized: clear and reinsert pageblock by pageblock.
+            self.mem.mark_free(handle.pfn)
+            self.stat.inc(ev.PAGES_FREED, handle.nframes)
+            for pfn in range(handle.pfn, handle.pfn + handle.nframes,
+                             PAGEBLOCK_FRAMES):
+                self.allocator_for(pfn).free_block(pfn, MAX_ORDER)
+        if self._deferred_offline:
+            self._reoffline_range(handle.pfn, handle.nframes)
+
+    def _reoffline_range(self, pfn: int, nframes: int) -> None:
+        """Carve out any deferred-offline frames the just-freed range
+        returned to the free lists (Linux's free-time hwpoison check)."""
+        end = pfn + nframes
+        hits = sorted(p for p in self._deferred_offline if pfn <= p < end)
+        if not hits:
             return
-        # Gigapage-sized: clear and reinsert pageblock by pageblock.
-        self.mem.mark_free(handle.pfn)
-        self.stat.inc(ev.PAGES_FREED, handle.nframes)
-        for pfn in range(handle.pfn, handle.pfn + handle.nframes,
-                         PAGEBLOCK_FRAMES):
-            self.allocator_for(pfn).free_block(pfn, MAX_ORDER)
+        self.drain_pcp()
+        for victim in hits:
+            self._offline_free_frame(victim)
 
     # -- pinning -----------------------------------------------------------
 
@@ -400,6 +468,103 @@ class LinuxKernel:
     def unpin_pages(self, handle: PageHandle) -> None:
         handle.pinned = False
         self.mem.unpin(handle.pfn)
+
+    # -- memory failure (hwpoison) ---------------------------------------
+
+    def memory_failure(self, pfn: int) -> bool:
+        """Handle an uncorrectable memory error on frame *pfn*.
+
+        The simulator's ``memory_failure`` analogue, with Linux's three
+        outcomes:
+
+        * the frame is **free** — carve it out of its buddy block and
+          hard-offline it immediately;
+        * the frame is in a **movable** allocation — migrate the
+          allocation away (its owner never notices), then offline the
+          now-free frame;
+        * the frame is **unmovable/pinned** (or the rescue migration
+          failed) — the error is fatal in place: the frame is poisoned
+          where it sits and the offline is deferred until the owner
+          frees it.
+
+        Returns True when the frame was offlined now, False when the
+        offline was deferred.  Either way the frame never serves another
+        allocation: offlined frames become permanent order-0 unmovable
+        placeholders that every scan, compactor, and region resize
+        routes around, and the contiguity CDF accounts for the hole.
+        """
+        self.stat.inc(ev.MEMORY_FAILURE)
+        if self.mem.is_poisoned(pfn) or pfn in self._deferred_offline:
+            return True  # already handled; UCE on a dead cell is a no-op
+        self.drain_pcp()
+        if not self.mem.is_allocated(pfn):
+            self._offline_free_frame(pfn)
+            return True
+        info = self.mem.allocation_info(pfn)
+        if can_migrate_sw(info):
+            head = info.pfn
+            allocator = self.allocator_for(head)
+            dst = self.evacuator._take_free_outside(
+                allocator, info.order, head, head + info.nframes)
+            if dst is not None:
+                try:
+                    migrate_with_retry(self.mem, head, dst, stat=self.stat)
+                except MigrationError:
+                    allocator.free_block(dst, info.order)
+                else:
+                    allocator.free_block(head, info.order)
+                    self.handles.relocate(head, dst)
+                    self.stat.inc(ev.MIGRATE_SUCCESS)
+                    self._offline_free_frame(pfn)
+                    return True
+        self.mem.poison(pfn)
+        self._deferred_offline.add(pfn)
+        self.stat.inc(ev.MEMORY_FAILURE_FATAL)
+        return False
+
+    def _offline_free_frame(self, pfn: int) -> None:
+        """Offline a frame that is currently free: pull its buddy block
+        off the lists, give back every sibling frame, and leave *pfn*
+        as a permanent poisoned placeholder."""
+        allocator = self.allocator_for(pfn)
+        head, order = self._free_head_of(allocator, pfn)
+        allocator.take_free_block(head)
+        for frame in range(head, head + (1 << order)):
+            if frame != pfn:
+                allocator.free_block(frame, 0)
+        self.mem.mark_allocated(pfn, 0, MigrateType.UNMOVABLE,
+                                AllocSource.KERNEL_OTHER, self.now)
+        self.mem.poison(pfn)
+        self._deferred_offline.discard(pfn)
+        self._offlined += 1
+        self.stat.inc(ev.MEMORY_FAILURE_OFFLINED)
+        self._note_offline(pfn)
+
+    def _free_head_of(
+        self, allocator: BuddyAllocator, pfn: int,
+    ) -> tuple[int, int]:
+        """The ``(head, order)`` of the free buddy block containing *pfn*.
+
+        Buddy blocks are naturally aligned, so the covering block's head
+        is *pfn* masked to the block's alignment; walk the orders up
+        until the mask lands on a recorded free head."""
+        free_order = self.mem.free_order_mv
+        for order in range(MAX_ORDER + 1):
+            head = pfn & ~((1 << order) - 1)
+            if free_order[head] == order:
+                return head, order
+        raise SimInvariantError(
+            f"pfn {pfn} is free but on no free list of {allocator.label}")
+
+    def _note_offline(self, pfn: int) -> None:
+        """Re-derive capacity-relative state after a frame went offline
+        (Contiguitas additionally re-accounts the owning region)."""
+        self.watermarks = Watermarks.for_frames(
+            self.buddy.nr_frames - self._offlined)
+
+    def offlined_frames(self) -> int:
+        """Frames permanently offlined by :meth:`memory_failure`."""
+        return self._offlined
 
     # -- huge pages ----------------------------------------------------------
 

@@ -17,8 +17,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import MigrationError
+from ..faults import fault_site
+from . import vmstat as ev
 from .page import AllocationInfo, DEVICE_VISIBLE_SOURCES, PageFlag
 from .physmem import PhysicalMemory
+from .vmstat import VmStat
+
+# Fault-injection sites (docs/ROBUSTNESS.md): transient conditions that
+# make one migration attempt fail without making the page permanently
+# unmovable — a short-lived gup pin, or a raised refcount from a
+# concurrent lookup.  Disarmed (the default) they cost one attribute
+# load and a branch, like tracepoints.
+_fs_pin = fault_site("mm.migrate.pin")
+_fs_busy = fault_site("mm.migrate.busy")
+
+#: Attempts before a transient failure is surfaced, mirroring the retry
+#: loop in Linux ``migrate_pages`` (it tries up to 10 passes; scaled to
+#: the simulator's much cheaper attempts).
+MIGRATE_MAX_ATTEMPTS = 3
 
 
 def can_migrate_sw(info: AllocationInfo) -> bool:
@@ -98,3 +114,44 @@ def move_allocation(
         info.birth, pinned=info.pinned,
     )
     return info
+
+
+def migrate_with_retry(
+    mem: PhysicalMemory,
+    src_pfn: int,
+    dst_pfn: int,
+    hardware_assisted: bool = False,
+    stat: VmStat | None = None,
+    max_attempts: int = MIGRATE_MAX_ATTEMPTS,
+) -> AllocationInfo:
+    """:func:`move_allocation` with bounded retry over transient failures.
+
+    Mirrors Linux ``migrate_pages``: a page that is transiently pinned
+    or busy (a raised refcount) fails the attempt, the loop retries up
+    to *max_attempts* times, and only a failure that persists across
+    every attempt surfaces as :class:`MigrationError`.  Permanent
+    conditions (pinned, device-visible, already under migration) raise
+    immediately from :func:`move_allocation` on the first attempt.
+
+    Transient failures come from the ``mm.migrate.pin`` /
+    ``mm.migrate.busy`` fault sites; with no plan armed the loop is a
+    single straight-through call.  Each retry counts ``migrate_retry``
+    into *stat* when given; terminal failure accounting is left to the
+    caller (compaction and evacuation already count their own).
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        if _fs_pin.armed and _fs_pin.fire(pfn=src_pfn, attempt=attempt):
+            transient = "transient page pin"
+        elif _fs_busy.armed and _fs_busy.fire(pfn=src_pfn, attempt=attempt):
+            transient = "busy refcount"
+        else:
+            return move_allocation(mem, src_pfn, dst_pfn,
+                                   hardware_assisted=hardware_assisted)
+        if stat is not None:
+            stat.inc(ev.MIGRATE_RETRY)
+        if attempt >= max_attempts:
+            raise MigrationError(
+                f"pfn {src_pfn}: {transient} persisted across "
+                f"{attempt} attempts")

@@ -70,6 +70,7 @@ class PageFlag(IntEnum):
     HEAD = 1        # frame is the first frame of its allocation
     PINNED = 2      # page is pinned (DMA/RDMA); unmovable regardless of type
     UNDER_MIGRATION = 3  # a migration (SW or HW) is in flight for this frame
+    HW_POISON = 4   # uncorrectable memory error: frame is offline for good
 
 
 @dataclass(frozen=True)
@@ -83,6 +84,8 @@ class AllocationInfo:
         source: subsystem that requested the allocation.
         pinned: whether the allocation is currently pinned.
         birth: simulated time (ticks) at which it was allocated.
+        poisoned: head frame took an uncorrectable memory error and the
+            allocation is a hard-offlined placeholder.
     """
 
     pfn: int
@@ -91,6 +94,7 @@ class AllocationInfo:
     source: AllocSource
     pinned: bool
     birth: int
+    poisoned: bool = False
 
     @property
     def nframes(self) -> int:

@@ -25,6 +25,7 @@ _F_ALLOCATED = 1 << PageFlag.ALLOCATED
 _F_HEAD = 1 << PageFlag.HEAD
 _F_PINNED = 1 << PageFlag.PINNED
 _F_MIGRATING = 1 << PageFlag.UNDER_MIGRATION
+_F_POISON = 1 << PageFlag.HW_POISON
 
 
 class PhysicalMemory:
@@ -193,6 +194,17 @@ class PhysicalMemory:
         else:
             self.flags[pfn:end] &= ~np.uint8(_F_MIGRATING)
 
+    def poison(self, pfn: int) -> None:
+        """Mark frame *pfn* hardware-poisoned (uncorrectable error).
+
+        Only the single faulting frame is poisoned, like Linux
+        ``memory_failure``.  The flag rides on the per-frame bitfield,
+        so ``mark_free`` clears it with the rest — the kernel's
+        deferred-offline set is the durable record for frames whose
+        owner has not released them yet.
+        """
+        self.flags_mv[pfn] = self.flags_mv[pfn] | _F_POISON
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -206,6 +218,13 @@ class PhysicalMemory:
     def is_pinned(self, pfn: int) -> bool:
         return bool(self.flags_mv[pfn] & _F_PINNED)
 
+    def is_poisoned(self, pfn: int) -> bool:
+        return bool(self.flags_mv[pfn] & _F_POISON)
+
+    def range_poisoned(self, pfn: int, nframes: int) -> bool:
+        """Whether any frame in ``[pfn, pfn + nframes)`` is poisoned."""
+        return bool((self.flags[pfn:pfn + nframes] & _F_POISON).any())
+
     def allocation_info(self, pfn: int) -> AllocationInfo:
         """Describe the allocation owning frame *pfn* (head or member)."""
         if not self.is_allocated(pfn):
@@ -218,6 +237,7 @@ class PhysicalMemory:
             source=AllocSource(int(self.source[head])),
             pinned=self.is_pinned(head),
             birth=int(self.birth[head]),
+            poisoned=bool(self.flags_mv[head] & _F_POISON),
         )
 
     def allocated_mask(self) -> np.ndarray:
@@ -227,6 +247,14 @@ class PhysicalMemory:
     def pinned_mask(self) -> np.ndarray:
         """Boolean array: True where the frame is pinned."""
         return (self.flags & _F_PINNED) != 0
+
+    def poisoned_mask(self) -> np.ndarray:
+        """Boolean array: True where the frame is hardware-poisoned."""
+        return (self.flags & _F_POISON) != 0
+
+    def offlined_frames(self) -> int:
+        """Number of hard-offlined (poisoned) frames."""
+        return int(np.count_nonzero(self.poisoned_mask()))
 
     def unmovable_mask(self) -> np.ndarray:
         """Boolean array: True where the frame cannot be moved by software.

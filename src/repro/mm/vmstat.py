@@ -53,3 +53,8 @@ REGION_SHRINK = "region_shrink"
 REGION_EXPAND_BLOCKED = "region_expand_blocked"
 PIN_MIGRATIONS = "pin_migrations"
 HW_MIGRATIONS = "hw_migrations"
+MIGRATE_RETRY = "migrate_retry"
+MEMORY_FAILURE = "memory_failure"
+MEMORY_FAILURE_OFFLINED = "memory_failure_offlined"
+MEMORY_FAILURE_FATAL = "memory_failure_fatal"
+OOM_RESCUE = "oom_rescue"

@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.errors import MigrationError
 from repro.mm import (
+    AllocationInfo,
     AllocSource,
     BuddyAllocator,
     Compactor,
@@ -13,6 +15,8 @@ from repro.mm import (
     PageblockTable,
     PhysicalMemory,
     VmStat,
+    can_migrate_sw,
+    move_allocation,
 )
 from repro.units import MAX_ORDER, MiB
 
@@ -134,3 +138,66 @@ def test_cost_model_linear_in_victims():
     d1 = cost.downtime_cycles(1)
     d8 = cost.downtime_cycles(8)
     assert d8 - d1 == 7 * cost.per_victim_cycles
+
+
+class TestCanMigrateSw:
+    """The software-movability predicate that every skip path keys on:
+    only plain, unpinned user memory is software-movable (§2.1)."""
+
+    def _info(self, **kwargs) -> AllocationInfo:
+        defaults = dict(pfn=0, order=0, migratetype=MigrateType.MOVABLE,
+                        source=AllocSource.USER, pinned=False, birth=0)
+        defaults.update(kwargs)
+        return AllocationInfo(**defaults)
+
+    def test_plain_user_memory_movable(self):
+        assert can_migrate_sw(self._info())
+
+    def test_pinned_user_memory_not_movable(self):
+        assert not can_migrate_sw(self._info(pinned=True))
+
+    def test_every_kernel_source_not_movable(self):
+        for source in AllocSource:
+            if source is AllocSource.USER:
+                continue
+            assert not can_migrate_sw(self._info(source=source)), source
+
+    def test_poisoned_placeholder_not_movable(self):
+        # Hard-offlined frames are parked as KERNEL_OTHER placeholders,
+        # so compaction and evacuation route around them for free.
+        info = self._info(source=AllocSource.KERNEL_OTHER, poisoned=True)
+        assert not can_migrate_sw(info)
+
+
+class TestMoveAllocationSkipPaths:
+    def test_pinned_page_raises(self):
+        mem, buddy, handles, _ = build(mem_mib=4)
+        src = buddy.alloc(0, MigrateType.MOVABLE, AllocSource.USER,
+                          pinned=True)
+        dst = buddy.take_free_split(buddy.free_heads_in(0, mem.nframes)[-1],
+                                    0)
+        with pytest.raises(MigrationError, match="pinned=True"):
+            move_allocation(mem, src, dst)
+        assert mem.is_allocated(src)
+
+    def test_device_visible_source_raises(self):
+        mem, buddy, handles, _ = build(mem_mib=4)
+        src = buddy.alloc(0, MigrateType.UNMOVABLE, AllocSource.NETWORKING)
+        dst = buddy.take_free_split(buddy.free_heads_in(0, mem.nframes)[-1],
+                                    0)
+        with pytest.raises(MigrationError, match="NETWORKING"):
+            move_allocation(mem, src, dst)
+        assert mem.allocation_info(src).source is AllocSource.NETWORKING
+
+    def test_hardware_assist_moves_pinned_page(self):
+        # Contiguitas-HW relocates even pinned/device-visible memory
+        # (paper §3.3); the software-only guard is bypassed.
+        mem, buddy, handles, _ = build(mem_mib=4)
+        src = buddy.alloc(0, MigrateType.MOVABLE, AllocSource.USER,
+                          pinned=True)
+        dst = buddy.take_free_split(buddy.free_heads_in(0, mem.nframes)[-1],
+                                    0)
+        info = move_allocation(mem, src, dst, hardware_assisted=True)
+        assert info.pinned
+        assert mem.is_allocated(dst)
+        assert mem.allocation_info(dst).pinned

@@ -1,9 +1,13 @@
-"""Parallel fleet engine: worker resolution, fallback, bit-identity."""
+"""Supervised fleet engine: worker resolution, retries, bit-identity."""
+
+import dataclasses
 
 import pytest
 
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, FaultSpec
 from repro.fleet import FleetSample, ServerConfig, resolve_workers, run_fleet
-from repro.fleet.engine import WORKERS_ENV
+from repro.fleet.engine import WORKERS_ENV, WorkerOutcome, _scan_payload
 from repro.units import MiB
 
 SMALL = ServerConfig(mem_bytes=MiB(64), min_uptime_steps=20,
@@ -28,8 +32,19 @@ class TestWorkerResolution:
         monkeypatch.delenv(WORKERS_ENV, raising=False)
         assert resolve_workers(None) == max(1, os.cpu_count() or 1)
 
-    def test_never_below_one(self):
-        assert resolve_workers(-4) == 1
+    def test_explicit_negative_rejected(self):
+        """Explicit and env-var spellings validate identically: a
+        negative count is a configuration error either way."""
+        with pytest.raises(ConfigurationError):
+            resolve_workers(-4)
+
+    def test_env_negative_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "-3")
+        with pytest.raises(ConfigurationError):
+            resolve_workers(None)
+
+    def test_zero_still_means_serial(self):
+        assert resolve_workers(0) == 1
 
 
 class TestRunFleet:
@@ -58,6 +73,67 @@ class TestRunFleet:
 
     def test_zero_servers(self):
         assert run_fleet(0, config=SMALL, workers=1) == []
+
+
+CRASH_ONCE = FaultPlan(
+    "crash-once", (FaultSpec("fleet.worker.crash", max_fires=1),))
+CRASH_ALWAYS = FaultPlan(
+    "crash-always", (FaultSpec("fleet.worker.crash"),))
+
+
+class TestSupervision:
+    def test_payload_failure_carries_context(self):
+        """Satellite: a worker failure names the server index, seed, and
+        attempt without needing the worker's stdout."""
+        cfg = dataclasses.replace(SMALL, fault_plan=CRASH_ALWAYS)
+        outcome = _scan_payload((5, cfg, 14, 1))
+        assert isinstance(outcome, WorkerOutcome)
+        assert not outcome.ok
+        assert "server 5" in outcome.error
+        assert "seed 14" in outcome.error
+        assert "attempt 1" in outcome.error
+        assert "WorkerCrashError" in outcome.error
+
+    def test_crashed_server_retried_to_identical_scan(self):
+        """Retried payloads replay the same seed: a crash-then-retry run
+        is bit-identical to a clean run of the same seed."""
+        clean = run_fleet(3, config=SMALL, base_seed=7, workers=1)
+        cfg = dataclasses.replace(SMALL, fault_plan=CRASH_ONCE)
+        for workers in (1, 2):
+            chaotic = run_fleet(3, config=cfg, base_seed=7,
+                                workers=workers, backoff_base=0.0)
+            assert chaotic == clean
+            assert not any(s.failed for s in chaotic)
+
+    def test_exhausted_retries_degrade_not_abort(self):
+        """Every index comes back even when every attempt crashes; the
+        placeholders are marked failed with the final error attached."""
+        cfg = dataclasses.replace(SMALL, fault_plan=CRASH_ALWAYS)
+        for workers in (1, 2):
+            scans = run_fleet(3, config=cfg, base_seed=0, workers=workers,
+                              max_retries=1, backoff_base=0.0)
+            assert len(scans) == 3
+            assert all(s.failed for s in scans)
+            assert all("WorkerCrashError" in s.error for s in scans)
+            assert "server 2" in scans[2].error
+
+    def test_degraded_sample_aggregates_skip_failures(self):
+        cfg = dataclasses.replace(SMALL, fault_plan=CRASH_ALWAYS)
+        healthy = run_fleet(2, config=SMALL, base_seed=0, workers=1)
+        broken = run_fleet(1, config=cfg, base_seed=50, workers=1,
+                           max_retries=0, backoff_base=0.0)
+        sample = FleetSample(scans=healthy + broken)
+        assert sample.failed_indices() == [2]
+        assert len(sample.completed_scans()) == 2
+        assert len(sample.series("contiguity", "2MB")) == 2
+        snap = sample.snapshot()
+        assert snap["n_servers"] == 3
+        assert snap["n_failed_servers"] == 1
+
+    def test_chunk_size_still_accepted(self):
+        scans = run_fleet(2, config=SMALL, base_seed=1, workers=2,
+                          chunk_size=1)
+        assert scans == run_fleet(2, config=SMALL, base_seed=1, workers=1)
 
 
 class TestEmptyFleetAggregates:

@@ -239,6 +239,98 @@ class TestDeprecatedApiSL007:
                                         "unmovable_values"}
 
 
+class TestBoundedRetrySL008:
+    def test_flags_unbounded_sleep_retry(self):
+        src = """
+            import time
+
+            def fetch(conn):
+                while True:
+                    try:
+                        return conn.read()
+                    except OSError:
+                        time.sleep(0.1)
+                        continue
+        """
+        found = findings_for(src)
+        assert [f.rule for f in found] == ["SL008"]
+        assert "attempt counter" in found[0].message
+
+    def test_flags_retry_marker_names(self):
+        src = """
+            def fetch(conn, backoff):
+                while True:
+                    if conn.poll(backoff):
+                        return conn.read()
+        """
+        assert "SL008" in rules_of(src)
+
+    def test_bounded_by_attempt_counter_clean(self):
+        src = """
+            def fetch(conn, max_attempts=3):
+                attempt = 0
+                while True:
+                    attempt += 1
+                    try:
+                        return conn.read()
+                    except OSError:
+                        if attempt >= max_attempts:
+                            raise
+                        continue
+        """
+        assert "SL008" not in rules_of(src)
+
+    def test_plain_event_loop_clean(self):
+        src = """
+            def pump(queue):
+                while True:
+                    item = queue.get()
+                    if item is None:
+                        return
+                    item.run()
+        """
+        assert "SL008" not in rules_of(src)
+
+    def test_bounded_for_loop_clean(self):
+        src = """
+            def fetch(conn, max_retries=2):
+                for attempt in range(max_retries + 1):
+                    try:
+                        return conn.read()
+                    except OSError:
+                        continue
+        """
+        assert "SL008" not in rules_of(src)
+
+    def test_test_files_exempt(self):
+        src = """
+            import time
+
+            def drive(conn):
+                while True:
+                    try:
+                        return conn.read()
+                    except OSError:
+                        time.sleep(0.01)
+                        continue
+        """
+        assert "SL008" not in rules_of(src, "tests/test_fixture.py")
+
+    def test_disable_comment(self):
+        src = """
+            import time
+
+            def watch(conn):
+                while True:  # simlint: disable=SL008
+                    try:
+                        return conn.read()
+                    except OSError:
+                        time.sleep(0.1)
+                        continue
+        """
+        assert "SL008" not in rules_of(src)
+
+
 class TestSuppression:
     VIOLATION = """
         def merge(order):

@@ -59,7 +59,7 @@ class TestCli:
         sub = parser._subparsers._group_actions[0]
         assert set(sub.choices) == {"fig13", "walk", "steady", "fleet",
                                     "hwcost", "interference", "autotune",
-                                    "trace", "metrics", "lint"}
+                                    "chaos", "trace", "metrics", "lint"}
 
     def test_interference_runs(self, capsys):
         main(["interference", "--rate", "500"])
