@@ -3,49 +3,31 @@
 Paper: 23 % of sampled servers cannot assemble even one free 2 MiB block;
 59 % cannot assemble 32 MiB; dynamic 1 GiB allocation is practically
 impossible.
+
+Driven by the ``fig04-contiguity-cdf`` :class:`repro.experiments`
+spec, so the CDF rows are served from the content-addressed result
+cache (shared with ``repro experiment run fig04-contiguity-cdf`` and
+with Fig. 6, which reads the same fleet survey).
 """
 
-from repro.analysis import format_table
+from repro.experiments import run_experiment
 
-from common import fleet_sample, save_result
-
-CDF_POINTS = (0.0, 0.05, 0.10, 0.20, 0.30, 0.50, 0.75, 1.0)
+from common import save_result
 
 
 def compute():
-    sample = fleet_sample()
-    rows = []
-    for gran in ("2MB", "4MB", "32MB", "1GB"):
-        values = sample.series("contiguity", gran)
-        cdf = [sum(1 for v in values if v <= p) / len(values)
-               for p in CDF_POINTS]
-        rows.append([gran] + [f"{c:.2f}" for c in cdf])
-    return sample, rows
+    return run_experiment("fig04-contiguity-cdf")
 
 
 def test_fig04_contiguity_cdf(benchmark):
-    sample, rows = benchmark.pedantic(compute, rounds=1, iterations=1)
-    text = format_table(
-        ["Granularity"] + [f"<= {p:.0%}" for p in CDF_POINTS],
-        rows,
-        title=("Figure 4: CDF of servers vs contiguity "
-               "(fraction of free memory in free blocks)"),
-    )
-    text += (
-        f"\n\nServers with zero free 2MB blocks:  "
-        f"{sample.fraction_without_any('2MB'):.0%} (paper: 23%)"
-        f"\nServers with zero free 32MB blocks: "
-        f"{sample.fraction_without_any('32MB'):.0%} (paper: 59%)"
-        f"\nServers with zero free 1GB blocks:  "
-        f"{sample.fraction_without_any('1GB'):.0%} (paper: ~100%)"
-    )
-    save_result("fig04_contiguity_cdf.txt", text)
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    save_result("fig04_contiguity_cdf.txt", result.report())
 
+    without = {row["granularity"]: row["without_any"]
+               for row in result.rows}
     # Shape assertions: larger granularities are strictly harder.
-    assert sample.fraction_without_any("2MB") <= \
-        sample.fraction_without_any("32MB") <= \
-        sample.fraction_without_any("1GB")
+    assert without["2MB"] <= without["32MB"] <= without["1GB"]
     # A substantial share of servers lacks any 2 MiB contiguity, and
     # dynamically allocating 1 GiB is (nearly) impossible.
-    assert sample.fraction_without_any("2MB") > 0.05
-    assert sample.fraction_without_any("1GB") > 0.9
+    assert without["2MB"] > 0.05
+    assert without["1GB"] > 0.9

@@ -2,47 +2,28 @@
 
 Paper: networking buffers account for >73 % of unmovable pages at Meta,
 slab ~12 %, then filesystems, page tables, and ~4 % others.
+
+Driven by the ``fig06-sources`` :class:`repro.experiments` spec: the
+source breakdown comes out of the content-addressed result cache and the
+underlying fleet survey is shared with Fig. 4.
 """
 
-from repro.analysis import format_table, percent
-from repro.kalloc import SOURCE_MIX_META
-from repro.mm import AllocSource
+from repro.experiments import run_experiment
 
-from common import fleet_sample, save_result
-
-_PAPER = {
-    AllocSource.NETWORKING: SOURCE_MIX_META.networking,
-    AllocSource.SLAB: SOURCE_MIX_META.slab,
-    AllocSource.FILESYSTEM: SOURCE_MIX_META.filesystem,
-    AllocSource.PAGETABLE: SOURCE_MIX_META.pagetable,
-}
+from common import save_result
 
 
 def compute():
-    sample = fleet_sample()
-    return sample.source_breakdown()
+    return run_experiment("fig06-sources")
 
 
 def test_fig06_sources(benchmark):
-    breakdown = benchmark.pedantic(compute, rounds=1, iterations=1)
-    rows = []
-    for src in sorted(breakdown, key=breakdown.get, reverse=True):
-        paper = _PAPER.get(src)
-        rows.append((
-            src.name.lower(),
-            percent(breakdown[src]),
-            percent(paper) if paper is not None else "(other)",
-        ))
-    text = format_table(
-        ["Source", "Measured", "Paper"],
-        rows,
-        title="Figure 6: sources of unmovable allocations",
-    )
-    save_result("fig06_sources.txt", text)
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    save_result("fig06_sources.txt", result.report())
 
+    fractions = {row["source"]: row["fraction"] for row in result.rows}
     # Networking dominates, as in the paper.
-    assert max(breakdown, key=breakdown.get) is AllocSource.NETWORKING
-    assert breakdown[AllocSource.NETWORKING] > 0.5
+    assert max(fractions, key=fractions.get) == "networking"
+    assert fractions["networking"] > 0.5
     # Slab is the clear second among kernel heaps.
-    assert breakdown.get(AllocSource.SLAB, 0) > \
-        breakdown.get(AllocSource.PAGETABLE, 0)
+    assert fractions.get("slab", 0) > fractions.get("pagetable", 0)

@@ -1,9 +1,12 @@
 """Shared infrastructure for the per-figure benchmarks.
 
-Heavy simulations (fleet samples, steady-state service runs) are computed
-once per session and cached, because several figures read the same runs —
-exactly like the paper derives Figs. 11, 12 and §5.2 from the same
-steady-state profiling.
+Heavy simulations are shared, because several figures read the same runs
+— exactly like the paper derives Figs. 11, 12 and §5.2 from the same
+steady-state profiling.  Fleet surveys go through the durable
+content-addressed cache in :mod:`repro.experiments` (so repeated pytest
+sessions reuse the rows byte for byte); steady-state service runs keep a
+per-process ``lru_cache`` because live kernel objects are not
+JSON-serialisable.
 
 Every benchmark prints its reproduced rows and also writes them under
 ``benchmarks/results/`` for EXPERIMENTS.md.
@@ -16,7 +19,8 @@ import os
 from dataclasses import dataclass
 
 from repro.core import ContiguitasConfig, ContiguitasKernel
-from repro.fleet import FleetSample, ServerConfig, sample_fleet
+from repro.experiments import get_spec, run_experiment
+from repro.fleet import FleetSample
 from repro.mm import KernelConfig, LinuxKernel
 from repro.units import MiB
 from repro.workloads import (
@@ -40,13 +44,13 @@ STEADY_STEPS = 1200
 #: STEADY_MEM/64 (16 MiB on the 1 GiB machine).
 SCALED_1G_FRAMES = (STEADY_MEM // 64) // 4096
 
-#: Fleet-survey parameters (paper: tens of thousands of 64 GiB servers;
-#: we sample fewer, smaller machines with the same diversity).  1 GiB
-#: machines keep the paper's 1 GiB scan granularity meaningful.  The
-#: sample size rode up with the parallel fleet engine + allocator fast
-#: paths: 24 servers now cost less wall-clock than 16 did before.
-FLEET_SERVERS = 24
-FLEET_MEM = MiB(512)
+#: Fleet-survey parameters now live on the ``fleet-survey``
+#: :class:`~repro.experiments.ExperimentSpec` (the single source of
+#: truth for the Figs. 4-6 campaign); these aliases keep the historical
+#: names for benchmarks that report the scale.
+_FLEET_SPEC = get_spec("fleet-survey")
+FLEET_SERVERS = _FLEET_SPEC.defaults["n_servers"]
+FLEET_MEM = MiB(_FLEET_SPEC.defaults["mem_mib"])
 
 
 def save_result(name: str, text: str) -> str:
@@ -116,16 +120,12 @@ def steady_state_run(service_name: str, kernel_name: str) -> SteadyStateRun:
                           internal_frag_samples=tuple(samples))
 
 
-@functools.lru_cache(maxsize=None)
 def fleet_sample() -> FleetSample:
-    """The shared fleet survey behind Figs. 4-6 and §2.4."""
-    # Uptimes start beyond the fragmentation saturation point (~one
-    # straggler lifetime), mirroring the paper: servers fragment within
-    # their first "hour" while mean uptime is days — which is why uptime
-    # carries no signal (§2.4).
-    config = ServerConfig(mem_bytes=FLEET_MEM, min_uptime_steps=1100,
-                          max_uptime_steps=1600)
-    return sample_fleet(n_servers=FLEET_SERVERS, config=config, base_seed=11)
+    """The shared fleet survey behind Figs. 4-6 and §2.4, served from the
+    content-addressed experiment cache (one simulation per config+seed,
+    durable across processes — the old per-session ``lru_cache`` only
+    deduplicated within one pytest run)."""
+    return FleetSample.from_snapshots(run_experiment("fleet-survey").rows)
 
 
 STEADY_SERVICES = ("CI", "Web", "CacheA", "CacheB")

@@ -1,17 +1,15 @@
 """Fleet sample wall-clock: end-to-end simulator throughput.
 
 Runs a scaled-down fleet survey (same shape as the Figs. 4-6 campaign)
-serially and — when the parallel engine is available — through the
-process-pool fleet runner, reporting servers/second for both.  The
-serial number tracks single-core simulator throughput; the parallel
-number tracks how well the fleet engine scales it across cores.
+serially and through the process-pool fleet runner, reporting
+servers/second for both.  The serial number tracks single-core simulator
+throughput; the parallel number tracks how well the fleet engine scales
+it across cores.
 """
 
 from __future__ import annotations
 
-import inspect
-
-from repro.fleet import ServerConfig, sample_fleet
+from repro.fleet import FleetConfig, ServerConfig, run_fleet
 from repro.units import MiB
 
 from harness import BenchResult, time_best
@@ -31,26 +29,21 @@ def _config(quick: bool) -> tuple[ServerConfig, int]:
 
 def run(quick: bool = False) -> list[BenchResult]:
     cfg, n = _config(quick)
-    supports_workers = "workers" in inspect.signature(
-        sample_fleet).parameters
     results = []
 
     def serial():
-        if supports_workers:
-            sample_fleet(n_servers=n, config=cfg, base_seed=5, workers=1)
-        else:
-            sample_fleet(n_servers=n, config=cfg, base_seed=5)
+        run_fleet(FleetConfig(n_servers=n, server=cfg, base_seed=5,
+                              workers=1))
 
     secs = time_best(serial, repeats=1)
     results.append(BenchResult("fleet_sample_serial", n, secs,
                                unit="servers"))
 
-    if supports_workers:
-        def parallel():
-            sample_fleet(n_servers=n, config=cfg, base_seed=5,
-                         workers=None)
+    def parallel():
+        run_fleet(FleetConfig(n_servers=n, server=cfg, base_seed=5,
+                              workers=None))
 
-        psecs = time_best(parallel, repeats=1)
-        results.append(BenchResult("fleet_sample_parallel", n, psecs,
-                                   unit="servers"))
+    psecs = time_best(parallel, repeats=1)
+    results.append(BenchResult("fleet_sample_parallel", n, psecs,
+                               unit="servers"))
     return results

@@ -15,7 +15,7 @@ Usage::
 import sys
 
 from repro.analysis import format_table, percent
-from repro.fleet import ServerConfig, sample_fleet
+from repro.fleet import FleetConfig, ServerConfig, run_fleet
 from repro.units import MiB
 
 
@@ -24,9 +24,10 @@ def main() -> None:
     print(f"Sampling {n_servers} simulated servers "
           f"(256 MiB each, varied services/utilisation, uptimes past the "
           f"fragmentation saturation point)...")
-    config = ServerConfig(mem_bytes=MiB(256), min_uptime_steps=1200,
+    server = ServerConfig(mem_bytes=MiB(256), min_uptime_steps=1200,
                           max_uptime_steps=1800)
-    fleet = sample_fleet(n_servers=n_servers, config=config, base_seed=21)
+    fleet = run_fleet(FleetConfig(n_servers=n_servers, server=server,
+                                  base_seed=21))
 
     rows = []
     for gran in ("2MB", "4MB", "32MB", "1GB"):

@@ -18,6 +18,14 @@ Examples::
     python -m repro lint src/repro        # determinism/invariant linter
     python -m repro lint --json --list-rules
     python -m repro hwcost                # metadata-table cost model
+    python -m repro experiment list       # registered experiment specs
+    python -m repro experiment run fig04-contiguity-cdf --seed 7
+    python -m repro experiment sweep fleet-survey --manifest sweep.json
+    python -m repro experiment report fig06-sources --json
+
+Shared options (``--seed``, ``--workers``, ``--json``, ``--manifest``)
+are declared once on parent parsers so every verb spells and validates
+them identically.
 """
 
 from __future__ import annotations
@@ -109,7 +117,7 @@ def _cmd_steady(args) -> None:
 
 
 def _cmd_fleet(args) -> None:
-    from .fleet import ServerConfig, sample_fleet
+    from .fleet import FleetConfig, ServerConfig, run_fleet
     from .telemetry import TelemetryConfig
 
     telemetry = None
@@ -119,10 +127,10 @@ def _cmd_fleet(args) -> None:
             events_path=args.events,
             manifest_path=args.manifest,
         )
-    config = ServerConfig(mem_bytes=MiB(args.mem_mib))
-    fleet = sample_fleet(n_servers=args.servers, config=config,
-                         base_seed=args.seed, workers=args.workers,
-                         telemetry=telemetry)
+    fleet = run_fleet(FleetConfig(
+        n_servers=args.servers,
+        server=ServerConfig(mem_bytes=MiB(args.mem_mib)),
+        base_seed=args.seed, workers=args.workers, telemetry=telemetry))
     rows = [
         (gran,
          percent(fleet.fraction_without_any(gran), 0),
@@ -141,9 +149,23 @@ def _cmd_fleet(args) -> None:
         print(f"run manifest written to {args.manifest}")
 
 
+def _resolve_plan(name: str | None):
+    """A named fault plan, or None; unknown names exit with the list."""
+    if name is None:
+        return None
+    from .faults import NAMED_PLANS
+
+    try:
+        return NAMED_PLANS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown plan {name!r}; one of "
+            f"{', '.join(sorted(NAMED_PLANS))}") from None
+
+
 def _cmd_chaos(args) -> None:
     from .faults import NAMED_PLANS
-    from .fleet import ServerConfig, sample_fleet
+    from .fleet import FleetConfig, ServerConfig, run_fleet
     from .telemetry import TelemetryConfig
 
     if args.list_plans:
@@ -158,18 +180,12 @@ def _cmd_chaos(args) -> None:
             ["Plan", "Site", "Rate", "Max fires", "Skip"], rows,
             title="Named fault plans (docs/ROBUSTNESS.md)"))
         return
-    try:
-        plan = NAMED_PLANS[args.plan]
-    except KeyError:
-        raise SystemExit(
-            f"unknown plan {args.plan!r}; one of "
-            f"{', '.join(sorted(NAMED_PLANS))}") from None
-
+    plan = _resolve_plan(args.plan)
     telemetry = TelemetryConfig(manifest_path=args.manifest)
-    config = ServerConfig(mem_bytes=MiB(args.mem_mib), fault_plan=plan)
-    fleet = sample_fleet(n_servers=args.servers, config=config,
-                         base_seed=args.seed, workers=args.workers,
-                         telemetry=telemetry)
+    fleet = run_fleet(FleetConfig(
+        n_servers=args.servers,
+        server=ServerConfig(mem_bytes=MiB(args.mem_mib), fault_plan=plan),
+        base_seed=args.seed, workers=args.workers, telemetry=telemetry))
 
     failed = fleet.failed_indices()
     rows = [
@@ -246,6 +262,8 @@ def _cmd_trace(args) -> None:
 
 
 def _cmd_metrics(args) -> None:
+    import json
+
     from .telemetry import (
         format_manifest,
         format_manifest_diff,
@@ -256,10 +274,14 @@ def _cmd_metrics(args) -> None:
     if len(args.manifests) > 2:
         raise SystemExit("repro metrics takes one manifest, or two to diff")
     if len(args.manifests) == 1:
-        print(format_manifest(load_manifest(args.manifests[0])))
+        manifest = load_manifest(args.manifests[0])
+        print(json.dumps(manifest, indent=2, sort_keys=True)
+              if args.json else format_manifest(manifest))
     else:
         a, b = (load_manifest(p) for p in args.manifests)
-        print(format_manifest_diff(manifest_diff(a, b)))
+        diff = manifest_diff(a, b)
+        print(json.dumps(diff, indent=2, sort_keys=True)
+              if args.json else format_manifest_diff(diff))
 
 
 def _cmd_interference(args) -> None:
@@ -340,6 +362,177 @@ def _cmd_hwcost(args) -> None:
         title="Contiguitas-HW metadata table (22nm, CACTI-like model)"))
 
 
+def _parse_sets(pairs: list[str] | None) -> dict:
+    """``--set KEY=VALUE`` pairs as a config-override dict.  Values are
+    parsed as JSON scalars (``--set n_servers=12``, ``--set label='"x"'``)
+    and fall back to plain strings."""
+    import json
+
+    overrides = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"--set expects KEY=VALUE, got {pair!r}")
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        overrides[key] = value
+    return overrides
+
+
+def _experiment_cache(args):
+    from .experiments import ResultCache
+
+    return ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+
+
+def _print_experiment(result, as_json: bool) -> None:
+    """Result rows/report to stdout; cache status to stderr — so two runs
+    of the same cell produce byte-identical stdout whether they computed
+    or hit the cache (the CI smoke job diffs exactly this)."""
+    import json
+    import sys
+
+    status = "cache hit" if result.cached else "computed"
+    print(f"# {result.spec.name} seed={result.seed} "
+          f"key={result.key[:12]} [{status}]", file=sys.stderr)
+    if as_json:
+        print(json.dumps(result.rows, indent=2, sort_keys=True))
+    else:
+        print(result.report())
+
+
+def _cmd_experiment_list(args) -> None:
+    import json
+
+    from .experiments import all_specs
+
+    specs = all_specs()
+    if args.json:
+        print(json.dumps(
+            [{"name": s.name, "description": s.description,
+              "figure": s.figure, "seed": s.seed, "version": s.version,
+              "defaults": dict(s.defaults),
+              "grid": {k: list(v) for k, v in sorted(s.grid.items())},
+              "cells": len(s.cells())}
+             for s in specs], indent=2, sort_keys=True))
+        return
+    print(format_table(
+        ["Name", "Figure", "Seed", "Cells", "Description"],
+        [(s.name, s.figure or "-", str(s.seed), str(len(s.cells())),
+          s.description) for s in specs],
+        title="Registered experiments (repro experiment run <name>)"))
+
+
+def _cmd_experiment_run(args) -> None:
+    from .experiments import run_experiment
+
+    result = run_experiment(
+        args.name, overrides=_parse_sets(args.set), seed=args.seed,
+        workers=args.workers, plan=_resolve_plan(args.plan),
+        cache=_experiment_cache(args), force=args.force,
+        manifest_path=args.manifest)
+    _print_experiment(result, args.json)
+    if args.manifest:
+        import sys
+
+        print(f"# run manifest written to {args.manifest}", file=sys.stderr)
+
+
+def _cmd_experiment_sweep(args) -> None:
+    import sys
+
+    from .experiments import run_sweep
+
+    sweep = run_sweep(
+        args.name, overrides=_parse_sets(args.set), seed=args.seed,
+        workers=args.workers, plan=_resolve_plan(args.plan),
+        cache=_experiment_cache(args), force=args.force,
+        manifest_path=args.manifest)
+    counters = sweep.manifest["counters"]
+    print(f"# sweep {args.name}: {len(sweep.results)} cells, "
+          f"{sweep.n_cached} cached, "
+          f"{counters.get('experiment.sweep_resumed', 0)} resumed",
+          file=sys.stderr)
+    if args.json:
+        import json
+
+        print(json.dumps(
+            [{"config": r.config, "seed": r.seed, "key": r.key,
+              "cached": r.cached, "rows": r.rows}
+             for r in sweep.results], indent=2, sort_keys=True))
+    else:
+        print(format_table(
+            ["Cell", "Config", "Rows", "Cached"],
+            [(str(i), ", ".join(f"{k}={v}" for k, v in sorted(
+                r.config.items())), str(len(r.rows)),
+              "yes" if r.cached else "no")
+             for i, r in enumerate(sweep.results)],
+            title=f"Sweep: {args.name}"))
+    if args.manifest:
+        print(f"# sweep manifest written to {args.manifest}",
+              file=sys.stderr)
+
+
+def _cmd_experiment_report(args) -> None:
+    from .experiments import load_cached
+
+    result = load_cached(
+        args.name, overrides=_parse_sets(args.set), seed=args.seed,
+        plan=_resolve_plan(args.plan), cache=_experiment_cache(args))
+    if result is None:
+        raise SystemExit(
+            f"no cached result for {args.name!r} with this config/seed; "
+            f"run `repro experiment run {args.name}` first")
+    _print_experiment(result, args.json)
+
+
+def _workers_arg(value: str) -> int:
+    """Shared ``--workers`` validation: a positive process count."""
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer process count, got {value!r}") from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError(
+            f"process count must be >= 1, got {workers}")
+    return workers
+
+
+#: Sentinel: the verb takes no ``--seed`` at all (vs. default None).
+_OMIT = object()
+
+
+def _common_options(*, seed=_OMIT, workers: bool = False,
+                    json_flag: bool = False,
+                    manifest: bool = False) -> argparse.ArgumentParser:
+    """One parent parser carrying the requested shared options, so every
+    verb spells ``--seed`` / ``--workers`` / ``--json`` / ``--manifest``
+    identically (same types, same validation, same help text)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    if seed is not _OMIT:
+        parent.add_argument(
+            "--seed", type=int, default=seed,
+            help="base RNG seed" + (" (default: the spec's seed policy)"
+                                    if seed is None else ""))
+    if workers:
+        parent.add_argument(
+            "--workers", type=_workers_arg, default=None,
+            help="process count (default: REPRO_FLEET_WORKERS "
+                 "or cpu count; 1 = serial)")
+    if json_flag:
+        parent.add_argument("--json", action="store_true",
+                            help="machine-readable output")
+    if manifest:
+        parent.add_argument(
+            "--manifest", metavar="PATH", default=None,
+            help="write the run manifest JSON to PATH")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -355,51 +548,42 @@ def build_parser() -> argparse.ArgumentParser:
     walk.add_argument("--instructions", type=int, default=150_000)
     walk.set_defaults(fn=_cmd_walk)
 
-    steady = sub.add_parser("steady", help="steady-state fragmentation")
+    steady = sub.add_parser("steady", help="steady-state fragmentation",
+                            parents=[_common_options(seed=0)])
     steady.add_argument("--service", default="CacheB",
                         choices=["Web", "CacheA", "CacheB", "CI"])
     steady.add_argument("--kernel", default="contiguitas",
                         choices=["linux", "contiguitas"])
     steady.add_argument("--mem-mib", type=int, default=256)
     steady.add_argument("--steps", type=int, default=600)
-    steady.add_argument("--seed", type=int, default=0)
     steady.set_defaults(fn=_cmd_steady)
 
-    fleet = sub.add_parser("fleet", help="fleet fragmentation survey")
+    fleet = sub.add_parser(
+        "fleet", help="fleet fragmentation survey",
+        parents=[_common_options(seed=0, workers=True, manifest=True)])
     fleet.add_argument("--servers", type=int, default=6)
     fleet.add_argument("--mem-mib", type=int, default=512)
-    fleet.add_argument("--seed", type=int, default=0)
-    fleet.add_argument("--workers", type=int, default=None,
-                       help="process count (default: REPRO_FLEET_WORKERS "
-                            "or cpu count; 1 = serial)")
     fleet.add_argument("--trace", action="store_true",
                        help="enable tracepoints during the run")
     fleet.add_argument("--events", metavar="PATH", default=None,
                        help="stream trace events to PATH as JSONL "
                             "(implies --trace)")
-    fleet.add_argument("--manifest", metavar="PATH", default=None,
-                       help="write the run manifest JSON to PATH")
     fleet.set_defaults(fn=_cmd_fleet)
 
     chaos = sub.add_parser(
-        "chaos", help="fleet survey under an injected fault plan")
+        "chaos", help="fleet survey under an injected fault plan",
+        parents=[_common_options(seed=0, workers=True, manifest=True)])
     chaos.add_argument("--plan", default="ci-smoke",
                        help="named fault plan (see --list-plans)")
     chaos.add_argument("--servers", type=int, default=6)
     chaos.add_argument("--mem-mib", type=int, default=512)
-    chaos.add_argument("--seed", type=int, default=0)
-    chaos.add_argument("--workers", type=int, default=None,
-                       help="process count (default: REPRO_FLEET_WORKERS "
-                            "or cpu count; 1 = serial)")
-    chaos.add_argument("--manifest", metavar="PATH", default=None,
-                       help="write the run manifest JSON to PATH "
-                            "(diffable against a clean `repro fleet` run)")
     chaos.add_argument("--list-plans", action="store_true",
                        help="print the named fault plans and exit")
     chaos.set_defaults(fn=_cmd_chaos)
 
     trace = sub.add_parser(
-        "trace", help="dump/filter a tracepoint event stream")
+        "trace", help="dump/filter a tracepoint event stream",
+        parents=[_common_options(seed=0)])
     trace.add_argument("--input", metavar="PATH", default=None,
                        help="read a JSONL event stream instead of running "
                             "a workload")
@@ -414,25 +598,72 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["Web", "CacheA", "CacheB", "CI"])
     trace.add_argument("--mem-mib", type=int, default=128)
     trace.add_argument("--steps", type=int, default=60)
-    trace.add_argument("--seed", type=int, default=0)
     trace.set_defaults(fn=_cmd_trace)
 
     metrics = sub.add_parser(
-        "metrics", help="pretty-print one run manifest, or diff two")
+        "metrics", help="pretty-print one run manifest, or diff two",
+        parents=[_common_options(json_flag=True)])
     metrics.add_argument("manifests", nargs="+", metavar="MANIFEST",
                          help="one manifest to summarise, or two to diff")
     metrics.set_defaults(fn=_cmd_metrics)
 
     lint = sub.add_parser(
-        "lint", help="determinism & invariant static analysis (simlint)")
+        "lint", help="determinism & invariant static analysis (simlint)",
+        parents=[_common_options(json_flag=True)])
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files/directories to lint (default: the "
                            "installed repro package)")
-    lint.add_argument("--json", action="store_true",
-                      help="machine-readable findings")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
     lint.set_defaults(fn=_cmd_lint)
+
+    experiment = sub.add_parser(
+        "experiment", help="declarative experiments with result caching")
+    esub = experiment.add_subparsers(dest="experiment_command",
+                                     required=True)
+
+    elist = esub.add_parser("list", help="registered experiment specs",
+                            parents=[_common_options(json_flag=True)])
+    elist.set_defaults(fn=_cmd_experiment_list)
+
+    def _experiment_cell_options(cell_parser, *, force: bool) -> None:
+        """Options shared by run/sweep/report beyond the common set."""
+        cell_parser.add_argument("name", metavar="NAME",
+                                 help="spec name (see `experiment list`)")
+        cell_parser.add_argument(
+            "--set", action="append", metavar="KEY=VALUE",
+            help="config override (JSON scalar; repeatable)")
+        cell_parser.add_argument(
+            "--plan", default=None,
+            help="named fault plan (keyed into the cache address)")
+        cell_parser.add_argument(
+            "--cache-dir", metavar="PATH", default=None,
+            help="result cache root (default: benchmarks/results/cache "
+                 "or $REPRO_EXPERIMENT_CACHE)")
+        if force:
+            cell_parser.add_argument(
+                "--force", action="store_true",
+                help="recompute and overwrite even on a cache hit")
+
+    erun = esub.add_parser(
+        "run", help="run one experiment cell (cache-aware)",
+        parents=[_common_options(seed=None, workers=True,
+                                 json_flag=True, manifest=True)])
+    _experiment_cell_options(erun, force=True)
+    erun.set_defaults(fn=_cmd_experiment_run)
+
+    esweep = esub.add_parser(
+        "sweep", help="run a spec's whole parameter grid (resumable)",
+        parents=[_common_options(seed=None, workers=True,
+                                 json_flag=True, manifest=True)])
+    _experiment_cell_options(esweep, force=True)
+    esweep.set_defaults(fn=_cmd_experiment_sweep)
+
+    ereport = esub.add_parser(
+        "report", help="render a cached result without computing",
+        parents=[_common_options(seed=None, json_flag=True)])
+    _experiment_cell_options(ereport, force=False)
+    ereport.set_defaults(fn=_cmd_experiment_report)
 
     sub.add_parser("hwcost", help="metadata-table cost").set_defaults(
         fn=_cmd_hwcost)
@@ -443,9 +674,9 @@ def build_parser() -> argparse.ArgumentParser:
     inter.set_defaults(fn=_cmd_interference)
 
     tune = sub.add_parser("autotune",
-                          help="Algorithm-1 coefficient search")
+                          help="Algorithm-1 coefficient search",
+                          parents=[_common_options(seed=0)])
     tune.add_argument("--trials", type=int, default=12)
-    tune.add_argument("--seed", type=int, default=0)
     tune.set_defaults(fn=_cmd_autotune)
     return parser
 

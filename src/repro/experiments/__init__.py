@@ -1,0 +1,64 @@
+"""Experiment orchestration: declarative specs, content-addressed
+result caching, and resumable parameter sweeps.
+
+This is the front door for reproducing the paper's figures::
+
+    from repro.experiments import run_experiment
+
+    result = run_experiment("fig04-contiguity-cdf", seed=7)
+    print(result.report())
+
+Identical (spec, config, seed, plan) invocations are served from the
+on-disk cache (``benchmarks/results/cache/``) byte for byte; sweeps
+checkpoint every finished grid cell, so an interrupted ``repro
+experiment sweep`` resumes without recomputing anything that already
+landed.  See docs/API.md for the stable surface and EXPERIMENTS.md for
+the CLI walkthrough.
+"""
+
+from .cache import (
+    CACHE_ENV,
+    CACHE_SCHEMA,
+    ResultCache,
+    canonical_json,
+    default_cache_dir,
+    result_key,
+)
+from .runner import (
+    ExperimentResult,
+    SweepResult,
+    load_cached,
+    run_experiment,
+    run_sweep,
+)
+from .spec import (
+    ExperimentContext,
+    ExperimentSpec,
+    all_specs,
+    get_spec,
+    register,
+    unregister,
+)
+
+# Importing the package registers the built-in paper specs.
+from . import builtin as _builtin  # noqa: F401
+
+__all__ = [
+    "CACHE_ENV",
+    "CACHE_SCHEMA",
+    "ExperimentContext",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "ResultCache",
+    "SweepResult",
+    "all_specs",
+    "canonical_json",
+    "default_cache_dir",
+    "get_spec",
+    "load_cached",
+    "register",
+    "result_key",
+    "run_experiment",
+    "run_sweep",
+    "unregister",
+]

@@ -1,0 +1,260 @@
+"""Experiment execution: cache-aware single runs and resumable sweeps.
+
+:func:`run_experiment` drives one (spec, config, seed) cell: resolve the
+config, compute the content address, serve the rows from the
+:class:`~repro.experiments.cache.ResultCache` on a hit, otherwise call
+the producer (which fans heavy fleet work out through the supervised
+:mod:`repro.fleet.engine` pool) and checkpoint the rows atomically.
+
+:func:`run_sweep` iterates a spec's parameter grid cell by cell through
+the same path, so every completed cell is durably checkpointed the
+moment it finishes: killing a sweep mid-grid loses only the in-flight
+cell, and the rerun recomputes nothing that already landed — resumption
+*is* cache hits, reported through the ``experiment.sweep_resumed``
+counter.
+
+Telemetry: every run folds ``experiment.cache_hit`` /
+``experiment.cache_miss`` / ``experiment.sweep_resumed`` counters into a
+:class:`~repro.telemetry.MetricsRegistry` and (unless suppressed) builds
+a run manifest — the machine-checkable record CI's experiment-smoke job
+gates on.  Fault plans ride in unchanged: a ``--plan`` chaos experiment
+is cached under a key that includes the plan snapshot, so chaos rows
+never masquerade as clean ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..telemetry import MetricsRegistry, build_manifest, tracepoint, \
+    write_manifest
+from .cache import ResultCache, result_key
+from .spec import ExperimentContext, ExperimentSpec, get_spec
+
+_tp_run = tracepoint("experiment.run")
+_tp_hit = tracepoint("experiment.cache.hit")
+_tp_miss = tracepoint("experiment.cache.miss")
+_tp_cell = tracepoint("experiment.sweep.cell")
+
+
+@dataclass
+class ExperimentResult:
+    """One cell's outcome: the rows plus enough context to report it."""
+
+    spec: ExperimentSpec
+    config: dict
+    seed: int
+    key: str
+    rows: list
+    cached: bool
+    manifest: dict | None = field(default=None, repr=False)
+
+    def report(self) -> str:
+        """The spec's rendered report (its ``postprocess``), or a plain
+        row dump when the spec declares none.  Pure function of the
+        rows and config, so cached and fresh runs render identically."""
+        if self.spec.postprocess is not None:
+            return self.spec.postprocess(self.rows, self.config)
+        import json
+
+        return json.dumps(self.rows, indent=2, sort_keys=True)
+
+
+@dataclass
+class SweepResult:
+    """A whole grid's outcomes, in deterministic cell order."""
+
+    spec: ExperimentSpec
+    results: list[ExperimentResult]
+    manifest: dict | None = field(default=None, repr=False)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for r in self.results if r.cached)
+
+
+def _plan_snapshot(plan) -> dict | None:
+    return None if plan is None else plan.snapshot()
+
+
+def run_experiment(name: str,
+                   overrides: dict | None = None,
+                   seed: int | None = None,
+                   workers: int | None = None,
+                   plan=None,
+                   cache: ResultCache | None = None,
+                   force: bool = False,
+                   metrics: MetricsRegistry | None = None,
+                   emit_manifest: bool = True,
+                   manifest_path: str | None = None) -> ExperimentResult:
+    """Run (or serve from cache) one experiment cell.
+
+    Args:
+        name: a registered spec name (``repro experiment list``).
+        overrides: config overrides onto the spec's defaults; unknown
+            keys raise :class:`~repro.errors.ConfigurationError`.
+        seed: base seed (default: the spec's seed policy).
+        workers: fleet worker budget handed to producers (``None`` =
+            engine default); never part of the cache key because worker
+            count cannot change results (bit-identity contract).
+        plan: a :class:`~repro.faults.FaultPlan` for chaos experiments;
+            keyed into the content address via its snapshot.
+        cache: result store (default: the shared on-disk cache).
+        force: recompute and overwrite even on a hit.
+        metrics: shared registry (sweeps pass one across cells);
+            ``experiment.*`` counters land here.
+        emit_manifest: build a run manifest onto the result.
+        manifest_path: also write the manifest JSON there.
+    """
+    spec = get_spec(name)
+    config = spec.resolve(overrides)
+    if seed is None:
+        seed = spec.seed
+    if cache is None:
+        cache = ResultCache()
+    if metrics is None:
+        metrics = MetricsRegistry()
+
+    key = result_key(spec.name, spec.version, config, seed,
+                     _plan_snapshot(plan))
+    if _tp_run.enabled:
+        _tp_run.emit(spec=spec.name, seed=seed, key=key[:12])
+
+    rows = None if force else cache.get(key)
+    cached = rows is not None
+    if cached:
+        metrics.inc("experiment.cache_hit")
+        if _tp_hit.enabled:
+            _tp_hit.emit(spec=spec.name, key=key[:12])
+    else:
+        metrics.inc("experiment.cache_miss")
+        if _tp_miss.enabled:
+            _tp_miss.emit(spec=spec.name, key=key[:12])
+
+        def fetch(dep: str, overrides: dict | None = None,
+                  dep_seed: int | None = None) -> list:
+            dep_result = run_experiment(
+                dep, overrides=overrides,
+                seed=seed if dep_seed is None else dep_seed,
+                workers=workers, plan=plan, cache=cache, metrics=metrics,
+                emit_manifest=False)
+            return dep_result.rows
+
+        ctx = ExperimentContext(
+            spec_name=spec.name, params=config, seed=seed,
+            workers=workers, fault_plan=plan, fetch=fetch)
+        produced = spec.producer(ctx)
+        if not isinstance(produced, list):
+            raise ConfigurationError(
+                f"experiment {spec.name!r}: producer must return a list "
+                f"of rows, got {type(produced).__name__}")
+        rows = cache.put(key, produced, spec_name=spec.name,
+                         version=spec.version, config=config,
+                         seed=seed, plan_snapshot=_plan_snapshot(plan))
+
+    result = ExperimentResult(spec=spec, config=config, seed=seed,
+                              key=key, rows=rows, cached=cached)
+    if emit_manifest:
+        result.manifest = _experiment_manifest(
+            kind="experiment", spec=spec, seed=seed, plan=plan,
+            metrics=metrics, cache=cache,
+            config_extra={"params": config, "cache_key": key},
+            aggregates={"rows": len(rows)})
+        if manifest_path:
+            write_manifest(manifest_path, result.manifest)
+    return result
+
+
+def load_cached(name: str,
+                overrides: dict | None = None,
+                seed: int | None = None,
+                plan=None,
+                cache: ResultCache | None = None) -> ExperimentResult | None:
+    """The cached result for one cell without ever computing — the
+    ``repro experiment report`` path.  Returns None on a miss."""
+    spec = get_spec(name)
+    config = spec.resolve(overrides)
+    if seed is None:
+        seed = spec.seed
+    if cache is None:
+        cache = ResultCache()
+    key = result_key(spec.name, spec.version, config, seed,
+                     _plan_snapshot(plan))
+    rows = cache.get(key)
+    if rows is None:
+        return None
+    return ExperimentResult(spec=spec, config=config, seed=seed, key=key,
+                            rows=rows, cached=True)
+
+
+def run_sweep(name: str,
+              overrides: dict | None = None,
+              seed: int | None = None,
+              workers: int | None = None,
+              plan=None,
+              cache: ResultCache | None = None,
+              force: bool = False,
+              manifest_path: str | None = None) -> SweepResult:
+    """Run every cell of a spec's parameter grid, checkpointing each.
+
+    *overrides* apply to every cell (for non-grid parameters, e.g. a
+    scaled-down ``mem_mib`` in CI); grid values win where they collide.
+    Cells run in the spec's deterministic order; each finished cell is
+    an atomic cache entry, so interrupting the sweep anywhere and
+    rerunning it recomputes only unfinished cells.  The manifest's
+    ``experiment.sweep_resumed`` counter says how many cells the rerun
+    was spared.
+    """
+    spec = get_spec(name)
+    if cache is None:
+        cache = ResultCache()
+    metrics = MetricsRegistry()
+    results: list[ExperimentResult] = []
+    for index, cell in enumerate(spec.cells()):
+        before_hits = metrics.counters["experiment.cache_hit"]
+        result = run_experiment(
+            name, overrides={**(overrides or {}), **cell},
+            seed=seed, workers=workers, plan=plan,
+            cache=cache, force=force, metrics=metrics, emit_manifest=False)
+        if metrics.counters["experiment.cache_hit"] > before_hits:
+            # This cell was finished by an earlier (possibly interrupted)
+            # sweep or run: the rerun resumed past it.
+            metrics.inc("experiment.sweep_resumed")
+        metrics.inc("experiment.sweep_cells")
+        if _tp_cell.enabled:
+            _tp_cell.emit(spec=spec.name, cell=index,
+                          cached=int(result.cached))
+        results.append(result)
+
+    sweep = SweepResult(spec=spec, results=results)
+    sweep.manifest = _experiment_manifest(
+        kind="experiment-sweep", spec=spec,
+        seed=spec.seed if seed is None else seed, plan=plan,
+        metrics=metrics, cache=cache,
+        config_extra={"grid": {k: list(v) for k, v in
+                               sorted(spec.grid.items())},
+                      "overrides": dict(overrides or {})},
+        aggregates={"cells_total": len(results),
+                    "cells_cached": sweep.n_cached,
+                    "cells_computed": len(results) - sweep.n_cached})
+    if manifest_path:
+        write_manifest(manifest_path, sweep.manifest)
+    return sweep
+
+
+def _experiment_manifest(kind: str, spec: ExperimentSpec, seed: int, plan,
+                         metrics: MetricsRegistry, cache: ResultCache,
+                         config_extra: dict, aggregates: dict) -> dict:
+    config = {
+        "experiment": spec.name,
+        "version": spec.version,
+        "fault_plan": _plan_snapshot(plan),
+        **config_extra,
+    }
+    return build_manifest(
+        kind=kind, config=config, seed=seed,
+        counters=metrics.counters.snapshot(),
+        aggregates=aggregates,
+        volatile={"cache_dir": cache.root},
+    )

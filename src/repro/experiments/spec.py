@@ -1,0 +1,163 @@
+"""Declarative experiment specs and the process-wide registry.
+
+The paper's evaluation is a fixed catalogue of figures and tables, each
+derived from a small number of expensive steady-state runs.  An
+:class:`ExperimentSpec` captures one such derivation declaratively:
+
+* a **name** (the CLI handle: ``repro experiment run <name>``);
+* **defaults** — the resolved configuration, a flat dict of JSON
+  scalars, every key overridable from the CLI (``--set key=value``);
+* a **grid** — per-parameter value tuples that ``repro experiment
+  sweep`` fans out cell by cell;
+* a **seed policy** — the spec's default base seed, overridable per run;
+* a **producer** — the function that actually simulates, returning
+  JSON-serialisable result rows (cached content-addressed, see
+  :mod:`repro.experiments.cache`);
+* a **version** — the code salt in the cache key: bump it when the
+  producer's semantics change so stale cached rows can never satisfy a
+  new binary;
+* an optional **postprocess** — rows → rendered report text, run on
+  every invocation (cheap), never cached.
+
+Producers compose through :meth:`ExperimentContext.fetch`: a figure spec
+fetches the shared underlying run (e.g. ``fleet-survey``) through the
+same cache, so overlapping figures (4/5/6, or 11/12/§5.2 in the paper)
+cost one simulation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..errors import ConfigurationError
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9-]*$")
+
+#: Parameter values must be flat JSON scalars so configs hash stably.
+_SCALARS = (str, int, float, bool, type(None))
+
+
+@dataclass(frozen=True)
+class ExperimentContext:
+    """What a producer sees for one (config, seed) cell.
+
+    ``fetch(name, overrides=..., seed=...)`` resolves another
+    experiment's rows through the same cache, metrics registry, worker
+    budget, and fault plan — the dependency mechanism that lets several
+    figures share one steady-state run.
+    """
+
+    spec_name: str
+    params: Mapping[str, Any]
+    seed: int
+    workers: int | None = None
+    fault_plan: Any = None
+    fetch: Callable[..., list] | None = None
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One declaratively-registered experiment (see module docstring)."""
+
+    name: str
+    description: str
+    producer: Callable[[ExperimentContext], list]
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    grid: Mapping[str, tuple] = field(default_factory=dict)
+    seed: int = 0
+    version: int = 1
+    figure: str = ""
+    postprocess: Callable[[list, Mapping[str, Any]], str] | None = None
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ConfigurationError(
+                f"experiment name {self.name!r} must be kebab-case "
+                "([a-z0-9-], starting alphanumeric)")
+        if not callable(self.producer):
+            raise ConfigurationError(
+                f"experiment {self.name!r}: producer must be callable")
+        for key, value in self.defaults.items():
+            if not isinstance(value, _SCALARS):
+                raise ConfigurationError(
+                    f"experiment {self.name!r}: default {key}={value!r} "
+                    "is not a JSON scalar (configs must hash stably)")
+        for key, values in self.grid.items():
+            if key not in self.defaults:
+                raise ConfigurationError(
+                    f"experiment {self.name!r}: grid parameter {key!r} "
+                    f"has no default; known: {sorted(self.defaults)}")
+            if not values:
+                raise ConfigurationError(
+                    f"experiment {self.name!r}: grid for {key!r} is empty")
+            for value in values:
+                if not isinstance(value, _SCALARS):
+                    raise ConfigurationError(
+                        f"experiment {self.name!r}: grid value "
+                        f"{key}={value!r} is not a JSON scalar")
+        if self.version < 1:
+            raise ConfigurationError(
+                f"experiment {self.name!r}: version must be >= 1")
+
+    def resolve(self, overrides: Mapping[str, Any] | None = None) -> dict:
+        """Defaults merged with *overrides*; unknown keys fail loudly."""
+        config = dict(self.defaults)
+        for key, value in (overrides or {}).items():
+            if key not in config:
+                raise ConfigurationError(
+                    f"unknown parameter {key!r} for experiment "
+                    f"{self.name!r}; known: {sorted(config)}")
+            if not isinstance(value, _SCALARS):
+                raise ConfigurationError(
+                    f"experiment {self.name!r}: override {key}={value!r} "
+                    "is not a JSON scalar")
+            config[key] = value
+        return config
+
+    def cells(self) -> list[dict]:
+        """Every grid combination as an override dict, in a fixed order
+        (sorted keys, value order as declared) so sweeps are resumable
+        and their manifests comparable."""
+        if not self.grid:
+            return [{}]
+        keys = sorted(self.grid)
+        return [dict(zip(keys, combo))
+                for combo in itertools.product(
+                    *(self.grid[k] for k in keys))]
+
+
+#: The process-wide spec registry (built-ins register on import;
+#: tests add and remove their own).
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec, replace: bool = False) -> ExperimentSpec:
+    """Add *spec* to the registry; duplicate names fail unless *replace*."""
+    if spec.name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"experiment {spec.name!r} is already registered "
+            "(pass replace=True to override)")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove a spec (test hygiene); unknown names are a no-op."""
+    _REGISTRY.pop(name, None)
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; registered: "
+            + (", ".join(sorted(_REGISTRY)) or "(none)")) from None
+
+
+def all_specs() -> list[ExperimentSpec]:
+    """Every registered spec, name-sorted."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]

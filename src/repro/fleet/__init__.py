@@ -1,24 +1,31 @@
-"""Fleet study tooling: simulated servers, sampling, statistics (§2.4)."""
+"""Fleet study tooling: simulated servers, sampling, statistics (§2.4).
 
-from .engine import WorkerOutcome, resolve_workers, run_fleet
+Public surface (docs/API.md): :class:`FleetConfig` + :func:`run_fleet`
+are the typed front door; ``sample_fleet`` is the deprecated kwarg shim.
+"""
+
+from .config import FleetConfig
+from .engine import WorkerOutcome, resolve_workers, run_fleet_scans
 from .report import render_report
-from .sampler import FleetSample, sample_fleet
+from .sampler import FleetSample, run_fleet, sample_fleet
 from .server import FLEET_SERVICES, ServerConfig, ServerScan, SimulatedServer
 from .stats import cdf_at, median, pearson, percentile
 
 __all__ = [
     "FLEET_SERVICES",
+    "FleetConfig",
     "FleetSample",
     "ServerConfig",
     "ServerScan",
     "SimulatedServer",
     "WorkerOutcome",
-    "resolve_workers",
-    "run_fleet",
     "cdf_at",
     "median",
     "pearson",
     "percentile",
     "render_report",
+    "resolve_workers",
+    "run_fleet",
+    "run_fleet_scans",
     "sample_fleet",
 ]

@@ -1,8 +1,8 @@
 """Supervised fleet execution: fan per-server simulations across cores.
 
 The fleet survey (§2.4) runs N *independent* simulated servers — an
-embarrassingly parallel job.  :func:`run_fleet` dispatches one payload per
-task to a :class:`~concurrent.futures.ProcessPoolExecutor` under a
+embarrassingly parallel job.  :func:`run_fleet_scans` dispatches one
+payload per task to a :class:`~concurrent.futures.ProcessPoolExecutor` under a
 supervisor loop that retries failures with capped exponential backoff,
 recycles stragglers past a per-server timeout, and survives worker
 crashes — both genuine ones (a dead process breaks the whole pool, which
@@ -78,7 +78,7 @@ def scan_one(payload: tuple[ServerConfig | None, int]) -> ServerScan:
     """Run a single simulated server; module-level so it pickles.
 
     Unsupervised compatibility shim — :func:`_scan_payload` is the
-    supervised equivalent and is what :func:`run_fleet` dispatches.
+    supervised equivalent and is what :func:`run_fleet_scans` dispatches.
     """
     config, seed = payload
     return SimulatedServer(config, seed=seed).run()
@@ -178,15 +178,20 @@ def resolve_workers(workers: int | None = None) -> int:
     return max(1, workers)
 
 
-def run_fleet(n_servers: int,
-              config: ServerConfig | None = None,
-              base_seed: int = 0,
-              workers: int | None = None,
-              chunk_size: int | None = None,
-              max_retries: int | None = None,
-              server_timeout: float | None = None,
-              backoff_base: float | None = None) -> list[ServerScan]:
+def run_fleet_scans(n_servers: int,
+                    config: ServerConfig | None = None,
+                    base_seed: int = 0,
+                    workers: int | None = None,
+                    chunk_size: int | None = None,
+                    max_retries: int | None = None,
+                    server_timeout: float | None = None,
+                    backoff_base: float | None = None) -> list[ServerScan]:
     """Run *n_servers* independent servers under supervision.
+
+    This is the raw engine: it returns the index-ordered scan list.
+    Most callers want :func:`repro.fleet.run_fleet`, the typed front
+    door that wraps the scans in a :class:`~repro.fleet.FleetSample`
+    with telemetry and a run manifest.
 
     Returns scans ordered by server index.  Identical output to
     ``[SimulatedServer(config, seed=base_seed + i).run() for i in ...]``

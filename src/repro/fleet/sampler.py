@@ -1,16 +1,19 @@
 """Fleet sampling: run many servers and aggregate scans (§2.4, Figs. 4-6).
 
 The paper randomly samples tens of thousands of 64 GiB production servers
-and scans their physical memory.  :func:`sample_fleet` runs N independent
-:class:`~repro.fleet.server.SimulatedServer` instances (scaled down but
-statistically diverse: different services, uptimes, and seeds) and returns
-the per-server scans plus fleet-level aggregates.
+and scans their physical memory.  :func:`run_fleet` — the typed front
+door, taking one frozen :class:`~repro.fleet.FleetConfig` — runs N
+independent :class:`~repro.fleet.server.SimulatedServer` instances
+(scaled down but statistically diverse: different services, uptimes, and
+seeds) and returns the per-server scans plus fleet-level aggregates.
+The legacy ``sample_fleet(...)`` kwarg spelling survives as a warn-once
+deprecation shim (docs/API.md describes the policy).
 
-Observability: passing a :class:`~repro.telemetry.TelemetryConfig` turns
-one sampling campaign into a *run* — tracepoints stream to a ring buffer
-or JSONL file while it executes, and a manifest (config, seeds, merged
-vmstat counters, aggregates) is attached to the returned sample and
-optionally written to disk for ``repro metrics`` diffing.
+Observability: a :class:`~repro.telemetry.TelemetryConfig` on the config
+turns one sampling campaign into a *run* — tracepoints stream to a ring
+buffer or JSONL file while it executes, and a manifest (config, seeds,
+merged vmstat counters, aggregates) is attached to the returned sample
+and optionally written to disk for ``repro metrics`` diffing.
 """
 
 from __future__ import annotations
@@ -29,26 +32,34 @@ from ..telemetry import (
     tracing,
     write_manifest,
 )
-from .engine import resolve_workers, run_fleet
+from .config import FleetConfig
+from .engine import resolve_workers, run_fleet_scans
 from .server import ServerConfig, ServerScan
 from .stats import median, pearson
+
+#: Shared "telemetry off" default so an untraced run builds no config
+#: per call.
+_DEFAULT_TELEMETRY = TelemetryConfig()
 
 #: Per-server metrics addressable through :meth:`FleetSample.series`.
 SERIES_METRICS = ("contiguity", "unmovable")
 
-#: Deprecated accessors that have already warned this process; each shim
-#: warns exactly once so sweeps over thousands of samples don't flood
-#: stderr.  Tests may clear this to re-arm the warning.
+#: Deprecated entry points that have already warned this process; each
+#: shim warns exactly once so sweeps over thousands of samples don't
+#: flood stderr.  Tests may clear this to re-arm the warnings.
 _DEPRECATION_WARNED: set[str] = set()
 
 
-def _warn_deprecated_once(name: str, replacement: str) -> None:
-    if name in _DEPRECATION_WARNED:
+def _warn_once(key: str, message: str) -> None:
+    if key in _DEPRECATION_WARNED:
         return
-    _DEPRECATION_WARNED.add(name)
-    warnings.warn(
-        f"FleetSample.{name}() is deprecated; use {replacement}",
-        DeprecationWarning, stacklevel=3)
+    _DEPRECATION_WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def _warn_deprecated_once(name: str, replacement: str) -> None:
+    _warn_once(name,
+               f"FleetSample.{name}() is deprecated; use {replacement}")
 
 
 @dataclass
@@ -167,6 +178,14 @@ class FleetSample:
         self.scans.extend(other.scans)
         return self
 
+    @classmethod
+    def from_snapshots(cls, rows) -> "FleetSample":
+        """Rebuild a sample from per-scan :meth:`ServerScan.snapshot`
+        dicts — the JSON-safe form the experiment result cache stores.
+        Aggregates are derived, so reconstructing the scans
+        reconstructs everything."""
+        return cls(scans=[ServerScan.from_snapshot(row) for row in rows])
+
 
 def _manifest_config(n_servers: int, config: ServerConfig | None,
                      base_seed: int) -> dict:
@@ -186,61 +205,69 @@ def _manifest_config(n_servers: int, config: ServerConfig | None,
     }
 
 
-def sample_fleet(n_servers: int = 50,
-                 config: ServerConfig | None = None,
-                 base_seed: int = 0,
-                 workers: int | None = None,
-                 telemetry: TelemetryConfig | None = None,
-                 max_retries: int | None = None,
-                 server_timeout: float | None = None,
-                 backoff_base: float | None = None) -> FleetSample:
-    """Run *n_servers* independent simulated servers and scan each.
+def run_fleet(config: FleetConfig | int, /, **legacy) -> FleetSample:
+    """Run one fleet-sampling campaign described by a :class:`FleetConfig`.
 
-    Servers run in parallel across processes when cores allow (see
-    :mod:`repro.fleet.engine`); *workers* forces a count (1 = serial).
-    Results are bit-identical to the serial path for any worker count.
+    The typed front door (docs/API.md): every knob — sampling size,
+    seeds, worker count, telemetry, supervision budgets — arrives on one
+    frozen config, and the result is a :class:`FleetSample` whose scans
+    are bit-identical for any worker count.
 
-    With *telemetry* the run is observable: tracepoints matching
-    ``telemetry.trace_patterns`` stream to ``telemetry.events_path``
-    (JSONL) or an in-memory ring while the fleet executes, and a run
-    manifest lands on ``FleetSample.manifest`` (written to
-    ``telemetry.manifest_path`` when set).  The manifest's deterministic
-    view is identical for every worker count: per-server vmstat counters
-    are snapshotted inside the seeded workers and merged here.
+    With ``config.telemetry`` set the run is observable: tracepoints
+    matching ``telemetry.trace_patterns`` stream to
+    ``telemetry.events_path`` (JSONL) or an in-memory ring while the
+    fleet executes, and a run manifest lands on ``FleetSample.manifest``
+    (written to ``telemetry.manifest_path`` when set).  The manifest's
+    deterministic view is identical for every worker count: per-server
+    vmstat counters are snapshotted inside the seeded workers and merged
+    here.
 
-    *max_retries*, *server_timeout*, and *backoff_base* tune the
-    supervised engine (see :func:`repro.fleet.engine.run_fleet`); with a
-    ``config.fault_plan`` installed this is the chaos-campaign entry
-    point — the same seed and plan always produce the same manifest.
+    With a ``config.server.fault_plan`` installed this is the
+    chaos-campaign entry point — the same seed and plan always produce
+    the same manifest.
+
+    Legacy compatibility: the pre-redesign engine spelling
+    ``run_fleet(n_servers, config=..., ...) -> list[ServerScan]`` still
+    works behind a warn-once shim and returns the raw scan list; new
+    code should call :func:`repro.fleet.engine.run_fleet_scans` for
+    that, or pass a :class:`FleetConfig` here.
     """
-    tcfg = telemetry or TelemetryConfig()
+    if isinstance(config, int):
+        _warn_once(
+            "run_fleet-legacy",
+            "run_fleet(n_servers, ...) -> list[ServerScan] is deprecated; "
+            "pass a FleetConfig (returns a FleetSample) or call "
+            "repro.fleet.engine.run_fleet_scans")
+        return run_fleet_scans(config, **legacy)
+    if legacy:
+        raise ConfigurationError(
+            "run_fleet(FleetConfig) takes no keyword arguments; vary the "
+            f"config with dataclasses.replace (got {sorted(legacy)})")
+
+    telemetry = config.telemetry
+    tcfg = telemetry or _DEFAULT_TELEMETRY
     sink = None
     if tcfg.trace:
         sink = (JsonlSink(tcfg.events_path) if tcfg.events_path
                 else RingBufferSink(tcfg.ring_capacity))
         with tracing(*tcfg.trace_patterns, sink=sink):
-            scans = run_fleet(n_servers, config=config, base_seed=base_seed,
-                              workers=workers, max_retries=max_retries,
-                              server_timeout=server_timeout,
-                              backoff_base=backoff_base)
+            scans = _run_scans(config)
         if isinstance(sink, JsonlSink):
             sink.close()
     else:
-        scans = run_fleet(n_servers, config=config, base_seed=base_seed,
-                          workers=workers, max_retries=max_retries,
-                          server_timeout=server_timeout,
-                          backoff_base=backoff_base)
+        scans = _run_scans(config)
 
     sample = FleetSample(scans=scans)
     if telemetry is not None and tcfg.emit_manifest:
         manifest = build_manifest(
             kind="fleet",
-            config=_manifest_config(n_servers, config, base_seed),
-            seed=base_seed,
+            config=_manifest_config(config.n_servers, config.server,
+                                    config.base_seed),
+            seed=config.base_seed,
             counters=sample.vmstat_totals(),
             aggregates=sample.snapshot(),
             volatile={
-                "workers": resolve_workers(workers),
+                "workers": resolve_workers(config.workers),
                 "trace_events": (sink.written if isinstance(sink, JsonlSink)
                                  else sink.appended if sink else 0),
             },
@@ -249,3 +276,38 @@ def sample_fleet(n_servers: int = 50,
         if tcfg.manifest_path:
             write_manifest(tcfg.manifest_path, manifest)
     return sample
+
+
+def _run_scans(config: FleetConfig) -> list[ServerScan]:
+    return run_fleet_scans(
+        config.n_servers, config=config.server,
+        base_seed=config.base_seed, workers=config.workers,
+        max_retries=config.max_retries,
+        server_timeout=config.server_timeout,
+        backoff_base=config.backoff_base)
+
+
+def sample_fleet(n_servers: int = 50,
+                 config: ServerConfig | None = None,
+                 base_seed: int = 0,
+                 workers: int | None = None,
+                 telemetry=None,
+                 max_retries: int | None = None,
+                 server_timeout: float | None = None,
+                 backoff_base: float | None = None) -> FleetSample:
+    """Deprecated kwarg spelling of :func:`run_fleet` (warns once).
+
+    Maps the historical ten-kwarg signature onto a
+    :class:`FleetConfig` and delegates; behaviour is unchanged.  New
+    code::
+
+        run_fleet(FleetConfig(n_servers=8, server=ServerConfig(...)))
+    """
+    _warn_once(
+        "sample_fleet",
+        "sample_fleet(...) is deprecated; use "
+        "run_fleet(FleetConfig(...)) from repro.fleet")
+    return run_fleet(FleetConfig(
+        n_servers=n_servers, server=config, base_seed=base_seed,
+        workers=workers, telemetry=telemetry, max_retries=max_retries,
+        server_timeout=server_timeout, backoff_base=backoff_base))

@@ -71,6 +71,25 @@ class ServerScan:
             snap["error"] = self.error
         return snap
 
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "ServerScan":
+        """Rebuild a scan from :meth:`snapshot` output (possibly after a
+        JSON round trip, e.g. out of the experiment result cache).  The
+        round trip is loss-free: ``ServerScan.from_snapshot(s.snapshot())
+        == s`` for every scan."""
+        return cls(
+            uptime_steps=snap["uptime_steps"],
+            free_frames=snap["free_frames"],
+            free_2m_blocks=snap["free_2m_blocks"],
+            contiguity=dict(snap["contiguity"]),
+            unmovable=dict(snap["unmovable"]),
+            sources={AllocSource[name]: n
+                     for name, n in snap["sources"].items()},
+            vmstat=dict(snap["vmstat"]),
+            failed=bool(snap.get("failed", False)),
+            error=snap.get("error", ""),
+        )
+
 
 @dataclass
 class ServerConfig:

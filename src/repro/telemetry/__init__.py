@@ -17,7 +17,7 @@ experiment manifests:
   (config, seed, git revision, counter snapshot, bench numbers) and the
   diffing used by ``repro metrics``;
 * :mod:`repro.telemetry.config` — :class:`TelemetryConfig`, the one knob
-  experiment entry points (``sample_fleet``, benchmarks) accept.
+  experiment entry points (``run_fleet``, benchmarks) accept.
 
 The pre-existing stats surfaces — :class:`repro.mm.vmstat.VmStat`, the
 fleet aggregates, sim-side stats — are thin facades over these

@@ -1,13 +1,13 @@
 """TelemetryConfig: the one observability knob experiment entry points take.
 
-Instead of growing ``sample_fleet`` (and each benchmark) a pile of
+Instead of growing ``run_fleet`` (and each benchmark) a pile of
 positional tracing parameters, callers pass a single validated config::
 
     from repro.telemetry import TelemetryConfig
 
-    sample_fleet(n_servers=8, telemetry=TelemetryConfig(
+    run_fleet(FleetConfig(n_servers=8, telemetry=TelemetryConfig(
         trace=True, events_path="events.jsonl",
-        manifest_path="manifest.json"))
+        manifest_path="manifest.json")))
 
 ``None`` (the default everywhere) means telemetry fully off — the
 near-zero-cost path.

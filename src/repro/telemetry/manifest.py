@@ -2,7 +2,7 @@
 
 A manifest captures everything needed to reproduce and compare a run:
 the configuration, the seed, the git revision, the kernel counter
-snapshot, and any bench numbers.  ``sample_fleet`` and the perf harness
+snapshot, and any bench numbers.  ``run_fleet`` and the perf harness
 emit them as JSON; ``repro metrics`` pretty-prints and diffs them.
 
 Volatile facts (wall-clock timestamps, hostname, worker count) live in a

@@ -1,0 +1,164 @@
+"""Public API surface snapshots and the deprecation-shim contract.
+
+The exported-symbol sets below are the stable surface documented in
+docs/API.md.  Changing them is allowed — but it must be a deliberate
+act: update the snapshot here *and* docs/API.md in the same change.
+Accidental exports (a helper leaking into ``import *``) and accidental
+breakage (a public name vanishing in a refactor) both fail this file.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+import repro.experiments
+import repro.fleet
+from repro.errors import ConfigurationError
+from repro.fleet import FleetConfig, run_fleet, sample_fleet
+from repro.fleet import sampler as sampler_mod
+from repro.fleet.server import ServerConfig
+from repro.units import MiB
+
+SMALL = ServerConfig(mem_bytes=MiB(64), min_uptime_steps=20,
+                     max_uptime_steps=40)
+
+
+class TestExportSnapshots:
+    def test_repro_all(self):
+        assert sorted(repro.__all__) == [
+            "AccessMode",
+            "AllocSource",
+            "ConfigurationError",
+            "ContiguitasConfig",
+            "ContiguitasKernel",
+            "ContiguityError",
+            "HardwareProtocolError",
+            "HwMigrationEngine",
+            "IlluminatorKernel",
+            "KernelConfig",
+            "LinuxKernel",
+            "MigrateType",
+            "MigrationError",
+            "OutOfMemoryError",
+            "PageHandle",
+            "PlacementPolicy",
+            "RegionLayout",
+            "RegionResizer",
+            "ReproError",
+            "ResizeConfig",
+            "Workload",
+            "WorkloadSpec",
+            "__version__",
+        ]
+
+    def test_fleet_all(self):
+        assert sorted(repro.fleet.__all__) == [
+            "FLEET_SERVICES",
+            "FleetConfig",
+            "FleetSample",
+            "ServerConfig",
+            "ServerScan",
+            "SimulatedServer",
+            "WorkerOutcome",
+            "cdf_at",
+            "median",
+            "pearson",
+            "percentile",
+            "render_report",
+            "resolve_workers",
+            "run_fleet",
+            "run_fleet_scans",
+            "sample_fleet",
+        ]
+
+    def test_experiments_all(self):
+        assert sorted(repro.experiments.__all__) == [
+            "CACHE_ENV",
+            "CACHE_SCHEMA",
+            "ExperimentContext",
+            "ExperimentResult",
+            "ExperimentSpec",
+            "ResultCache",
+            "SweepResult",
+            "all_specs",
+            "canonical_json",
+            "default_cache_dir",
+            "get_spec",
+            "load_cached",
+            "register",
+            "result_key",
+            "run_experiment",
+            "run_sweep",
+            "unregister",
+        ]
+
+    def test_all_names_actually_exported(self):
+        for mod in (repro, repro.fleet, repro.experiments):
+            for name in mod.__all__:
+                assert hasattr(mod, name), f"{mod.__name__}.{name}"
+
+
+class TestFrontDoor:
+    def test_run_fleet_takes_config_returns_sample(self):
+        sample = run_fleet(FleetConfig(n_servers=2, server=SMALL,
+                                       base_seed=4, workers=1))
+        assert len(sample.scans) == 2
+
+    def test_run_fleet_config_rejects_stray_kwargs(self):
+        with pytest.raises(ConfigurationError, match="no keyword"):
+            run_fleet(FleetConfig(n_servers=1, server=SMALL), workers=1)
+
+    def test_fleet_config_is_frozen_and_validated(self):
+        cfg = FleetConfig(n_servers=2, server=SMALL)
+        with pytest.raises(Exception):
+            cfg.n_servers = 5
+        with pytest.raises(ConfigurationError):
+            FleetConfig(n_servers=-1)
+        with pytest.raises(ConfigurationError):
+            FleetConfig(n_servers=1, workers=-2)
+        with pytest.raises(ConfigurationError):
+            FleetConfig(n_servers=1, max_retries=-1)
+
+
+class TestDeprecationShims:
+    def test_sample_fleet_warns_exactly_once(self):
+        sampler_mod._DEPRECATION_WARNED.discard("sample_fleet")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            a = sample_fleet(n_servers=1, config=SMALL, base_seed=2,
+                             workers=1)
+            b = sample_fleet(n_servers=1, config=SMALL, base_seed=2,
+                             workers=1)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)
+                        and "sample_fleet" in str(w.message)]
+        assert len(deprecations) == 1
+        assert a.scans == b.scans
+
+    def test_sample_fleet_second_call_survives_w_error(self):
+        """After the single warning fired, the shim is silent even under
+        ``-W error`` — sweeps over thousands of samples don't die."""
+        sampler_mod._DEPRECATION_WARNED.discard("sample_fleet")
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            sample_fleet(n_servers=1, config=SMALL, base_seed=2, workers=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            sample_fleet(n_servers=1, config=SMALL, base_seed=2, workers=1)
+
+    def test_sample_fleet_first_call_raises_under_w_error(self):
+        sampler_mod._DEPRECATION_WARNED.discard("sample_fleet")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with pytest.raises(DeprecationWarning, match="FleetConfig"):
+                sample_fleet(n_servers=1, config=SMALL, base_seed=2,
+                             workers=1)
+
+    def test_shim_matches_front_door(self):
+        sampler_mod._DEPRECATION_WARNED.add("sample_fleet")
+        shim = sample_fleet(n_servers=2, config=SMALL, base_seed=6,
+                            workers=1)
+        front = run_fleet(FleetConfig(n_servers=2, server=SMALL,
+                                      base_seed=6, workers=1))
+        assert shim == front

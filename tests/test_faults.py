@@ -31,7 +31,7 @@ from repro.faults import (
     fault_site,
     injecting,
 )
-from repro.fleet import ServerConfig, sample_fleet
+from repro.fleet import FleetConfig, ServerConfig, run_fleet
 from repro.mm import AllocSource, vmstat as ev
 from repro.mm.migrate import MIGRATE_MAX_ATTEMPTS, migrate_with_retry
 from repro.telemetry import deterministic_view
@@ -315,10 +315,10 @@ class TestChaosFleet:
 
         def manifest(path):
             cfg = ServerConfig(**SMALL, fault_plan=NAMED_PLANS["ci-smoke"])
-            sample = sample_fleet(
-                n_servers=4, config=cfg, base_seed=3, workers=2,
+            sample = run_fleet(FleetConfig(
+                n_servers=4, server=cfg, base_seed=3, workers=2,
                 backoff_base=0.0,
-                telemetry=TelemetryConfig(manifest_path=str(path)))
+                telemetry=TelemetryConfig(manifest_path=str(path))))
             return sample.manifest
 
         a = deterministic_view(manifest(tmp_path / "a.json"))
@@ -327,8 +327,8 @@ class TestChaosFleet:
 
     def test_chaos_run_complete_with_zero_drops(self):
         cfg = ServerConfig(**SMALL, fault_plan=NAMED_PLANS["ci-smoke"])
-        sample = sample_fleet(n_servers=4, config=cfg, base_seed=3,
-                              workers=2, backoff_base=0.0)
+        sample = run_fleet(FleetConfig(n_servers=4, server=cfg, base_seed=3,
+                                       workers=2, backoff_base=0.0))
         assert len(sample.scans) == 4
         assert sample.failed_indices() == []
         totals = sample.vmstat_totals()
@@ -336,11 +336,13 @@ class TestChaosFleet:
         assert totals["oom_rescue"] > 0
 
     def test_crash_only_chaos_matches_clean_manifest_counters(self):
-        clean = sample_fleet(n_servers=3, config=ServerConfig(**SMALL),
-                             base_seed=11, workers=1)
+        clean = run_fleet(FleetConfig(n_servers=3,
+                                      server=ServerConfig(**SMALL),
+                                      base_seed=11, workers=1))
         cfg = ServerConfig(**SMALL, fault_plan=NAMED_PLANS["crash-only"])
-        chaotic = sample_fleet(n_servers=3, config=cfg, base_seed=11,
-                               workers=1, backoff_base=0.0)
+        chaotic = run_fleet(FleetConfig(n_servers=3, server=cfg,
+                                        base_seed=11, workers=1,
+                                        backoff_base=0.0))
         assert chaotic.scans == clean.scans
 
     def test_manifest_config_records_plan(self):

@@ -4,13 +4,14 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.fleet import (
+    FleetConfig,
     SimulatedServer,
     ServerConfig,
     cdf_at,
     median,
     pearson,
     percentile,
-    sample_fleet,
+    run_fleet,
 )
 from repro.mm.page import AllocSource
 from repro.units import MiB
@@ -63,7 +64,8 @@ class TestFleetSampling:
     def fleet(self):
         config = ServerConfig(mem_bytes=MiB(64), min_uptime_steps=30,
                               max_uptime_steps=200)
-        return sample_fleet(n_servers=6, config=config, base_seed=7)
+        return run_fleet(FleetConfig(n_servers=6, server=config,
+                                     base_seed=7))
 
     def test_scan_count(self, fleet):
         assert len(fleet.scans) == 6
@@ -104,12 +106,12 @@ class TestFleetSampling:
 
 class TestFleetReport:
     def test_render_report_contains_all_sections(self):
-        from repro.fleet import ServerConfig, render_report, sample_fleet
+        from repro.fleet import ServerConfig, render_report
         from repro.units import MiB
 
-        sample = sample_fleet(n_servers=3, config=ServerConfig(
+        sample = run_fleet(FleetConfig(n_servers=3, server=ServerConfig(
             mem_bytes=MiB(64), min_uptime_steps=30, max_uptime_steps=60),
-            base_seed=5)
+            base_seed=5))
         report = render_report(sample, title="Test study")
         assert "# Test study" in report
         assert "Fig. 4" in report

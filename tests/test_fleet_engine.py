@@ -6,7 +6,14 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.faults import FaultPlan, FaultSpec
-from repro.fleet import FleetSample, ServerConfig, resolve_workers, run_fleet
+from repro.fleet import (
+    FleetConfig,
+    FleetSample,
+    ServerConfig,
+    resolve_workers,
+    run_fleet,
+    run_fleet_scans,
+)
 from repro.fleet.engine import WORKERS_ENV, WorkerOutcome, _scan_payload
 from repro.units import MiB
 
@@ -51,7 +58,7 @@ class TestRunFleet:
     def test_serial_fallback_matches_direct_loop(self):
         from repro.fleet import SimulatedServer
 
-        scans = run_fleet(3, config=SMALL, base_seed=9, workers=1)
+        scans = run_fleet_scans(3, config=SMALL, base_seed=9, workers=1)
         direct = [SimulatedServer(SMALL, seed=9 + i).run()
                   for i in range(3)]
         assert scans == direct
@@ -59,20 +66,33 @@ class TestRunFleet:
     def test_parallel_bit_identical_to_serial(self):
         """The acceptance property: scans from the process pool equal the
         serial path field-for-field, in index order."""
-        serial = run_fleet(4, config=SMALL, base_seed=3, workers=1)
-        parallel = run_fleet(4, config=SMALL, base_seed=3, workers=2,
+        serial = run_fleet_scans(4, config=SMALL, base_seed=3, workers=1)
+        parallel = run_fleet_scans(4, config=SMALL, base_seed=3, workers=2,
                              chunk_size=1)
         assert parallel == serial
 
-    def test_sample_fleet_workers_param(self):
-        from repro.fleet import sample_fleet
-
-        a = sample_fleet(n_servers=2, config=SMALL, base_seed=1, workers=1)
-        b = sample_fleet(n_servers=2, config=SMALL, base_seed=1, workers=2)
+    def test_run_fleet_front_door_workers_param(self):
+        a = run_fleet(FleetConfig(n_servers=2, server=SMALL,
+                                  base_seed=1, workers=1))
+        b = run_fleet(FleetConfig(n_servers=2, server=SMALL,
+                                  base_seed=1, workers=2))
         assert a.scans == b.scans
 
+    def test_run_fleet_legacy_positional_shim(self):
+        """The pre-redesign ``run_fleet(n, ...) -> list`` spelling still
+        works, warns once, and returns the engine's raw scan list."""
+        from repro.fleet import sampler
+
+        sampler._DEPRECATION_WARNED.discard("run_fleet-legacy")
+        with pytest.warns(DeprecationWarning, match="run_fleet_scans"):
+            legacy = run_fleet(2, config=SMALL, base_seed=9, workers=1)
+        assert legacy == run_fleet_scans(2, config=SMALL, base_seed=9,
+                                         workers=1)
+
     def test_zero_servers(self):
-        assert run_fleet(0, config=SMALL, workers=1) == []
+        assert run_fleet_scans(0, config=SMALL, workers=1) == []
+        assert run_fleet(FleetConfig(n_servers=0, server=SMALL,
+                                     workers=1)).scans == []
 
 
 CRASH_ONCE = FaultPlan(
@@ -97,10 +117,10 @@ class TestSupervision:
     def test_crashed_server_retried_to_identical_scan(self):
         """Retried payloads replay the same seed: a crash-then-retry run
         is bit-identical to a clean run of the same seed."""
-        clean = run_fleet(3, config=SMALL, base_seed=7, workers=1)
+        clean = run_fleet_scans(3, config=SMALL, base_seed=7, workers=1)
         cfg = dataclasses.replace(SMALL, fault_plan=CRASH_ONCE)
         for workers in (1, 2):
-            chaotic = run_fleet(3, config=cfg, base_seed=7,
+            chaotic = run_fleet_scans(3, config=cfg, base_seed=7,
                                 workers=workers, backoff_base=0.0)
             assert chaotic == clean
             assert not any(s.failed for s in chaotic)
@@ -110,7 +130,7 @@ class TestSupervision:
         placeholders are marked failed with the final error attached."""
         cfg = dataclasses.replace(SMALL, fault_plan=CRASH_ALWAYS)
         for workers in (1, 2):
-            scans = run_fleet(3, config=cfg, base_seed=0, workers=workers,
+            scans = run_fleet_scans(3, config=cfg, base_seed=0, workers=workers,
                               max_retries=1, backoff_base=0.0)
             assert len(scans) == 3
             assert all(s.failed for s in scans)
@@ -119,8 +139,8 @@ class TestSupervision:
 
     def test_degraded_sample_aggregates_skip_failures(self):
         cfg = dataclasses.replace(SMALL, fault_plan=CRASH_ALWAYS)
-        healthy = run_fleet(2, config=SMALL, base_seed=0, workers=1)
-        broken = run_fleet(1, config=cfg, base_seed=50, workers=1,
+        healthy = run_fleet_scans(2, config=SMALL, base_seed=0, workers=1)
+        broken = run_fleet_scans(1, config=cfg, base_seed=50, workers=1,
                            max_retries=0, backoff_base=0.0)
         sample = FleetSample(scans=healthy + broken)
         assert sample.failed_indices() == [2]
@@ -131,9 +151,9 @@ class TestSupervision:
         assert snap["n_failed_servers"] == 1
 
     def test_chunk_size_still_accepted(self):
-        scans = run_fleet(2, config=SMALL, base_seed=1, workers=2,
+        scans = run_fleet_scans(2, config=SMALL, base_seed=1, workers=2,
                           chunk_size=1)
-        assert scans == run_fleet(2, config=SMALL, base_seed=1, workers=1)
+        assert scans == run_fleet_scans(2, config=SMALL, base_seed=1, workers=1)
 
 
 class TestEmptyFleetAggregates:

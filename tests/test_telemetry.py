@@ -366,29 +366,29 @@ def _small_config():
 
 class TestFleetTelemetry:
     def test_manifest_deterministic_across_worker_counts(self):
-        from repro.fleet import sample_fleet
+        from repro.fleet import FleetConfig, run_fleet
 
         cfg = _small_config()
-        serial = sample_fleet(config=cfg, workers=1,
-                              telemetry=TelemetryConfig(), **FLEET_KW)
-        parallel = sample_fleet(config=cfg, workers=4,
-                                telemetry=TelemetryConfig(), **FLEET_KW)
+        serial = run_fleet(FleetConfig(
+            server=cfg, workers=1, telemetry=TelemetryConfig(), **FLEET_KW))
+        parallel = run_fleet(FleetConfig(
+            server=cfg, workers=4, telemetry=TelemetryConfig(), **FLEET_KW))
         assert serial.scans == parallel.scans
         assert deterministic_view(serial.manifest) == \
             deterministic_view(parallel.manifest)
         assert serial.manifest["counters"]["alloc_success"] > 0
 
     def test_tracing_produces_jsonl_and_manifest(self, tmp_path):
-        from repro.fleet import sample_fleet
+        from repro.fleet import FleetConfig, run_fleet
 
         events_path = tmp_path / "events.jsonl"
         manifest_path = tmp_path / "run.json"
-        sample = sample_fleet(
-            config=_small_config(), workers=1,
+        sample = run_fleet(FleetConfig(
+            server=_small_config(), workers=1,
             telemetry=TelemetryConfig(trace=True,
                                       events_path=str(events_path),
                                       manifest_path=str(manifest_path)),
-            **FLEET_KW)
+            **FLEET_KW))
         events = read_jsonl(events_path)
         names = {e.name for e in events}
         assert "fleet.run.start" in names
@@ -398,16 +398,18 @@ class TestFleetTelemetry:
         assert manifest["kind"] == "fleet"
         # Traced and untraced runs produce identical scans (tracing is
         # observation, not perturbation).
-        plain = sample_fleet(config=_small_config(), workers=1, **FLEET_KW)
+        plain = run_fleet(FleetConfig(server=_small_config(), workers=1,
+                                      **FLEET_KW))
         assert plain.scans == sample.scans
 
     def test_deprecated_accessors_warn_once_and_delegate(self):
         import warnings as _warnings
 
-        from repro.fleet import sample_fleet
+        from repro.fleet import FleetConfig, run_fleet
         from repro.fleet import sampler as sampler_mod
 
-        sample = sample_fleet(config=_small_config(), workers=1, **FLEET_KW)
+        sample = run_fleet(FleetConfig(server=_small_config(), workers=1,
+                                       **FLEET_KW))
         sampler_mod._DEPRECATION_WARNED.clear()
         try:
             with _warnings.catch_warnings(record=True) as caught:

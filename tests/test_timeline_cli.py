@@ -59,7 +59,31 @@ class TestCli:
         sub = parser._subparsers._group_actions[0]
         assert set(sub.choices) == {"fig13", "walk", "steady", "fleet",
                                     "hwcost", "interference", "autotune",
-                                    "chaos", "trace", "metrics", "lint"}
+                                    "chaos", "trace", "metrics", "lint",
+                                    "experiment"}
+
+    def test_shared_options_spelled_identically(self):
+        """The consolidated verbs take --seed/--workers/--json/--manifest
+        from one parent parser: same defaults, same validation."""
+        parser = build_parser()
+        args = parser.parse_args(["fleet", "--seed", "3", "--workers", "2"])
+        assert (args.seed, args.workers) == (3, 2)
+        args = parser.parse_args(["chaos", "--seed", "3", "--workers", "2"])
+        assert (args.seed, args.workers) == (3, 2)
+        args = parser.parse_args(["experiment", "run", "fleet-survey",
+                                  "--workers", "2", "--json"])
+        assert args.seed is None and args.workers == 2 and args.json
+        args = parser.parse_args(["metrics", "--json", "a.json"])
+        assert args.json
+
+    def test_workers_validated_identically(self, capsys):
+        parser = build_parser()
+        for argv in (["fleet", "--workers", "0"],
+                     ["chaos", "--workers", "-2"],
+                     ["experiment", "run", "x", "--workers", "zero"]):
+            with pytest.raises(SystemExit):
+                parser.parse_args(argv)
+            assert "process count" in capsys.readouterr().err
 
     def test_interference_runs(self, capsys):
         main(["interference", "--rate", "500"])
