@@ -53,6 +53,44 @@ def _churn(buddy: BuddyAllocator, iters: int, seed: int = 7) -> int:
     return ops
 
 
+#: Pages per alloc_bulk call in the bulk-path churn (a PCP-refill-sized
+#: batch would be 32; workload cache fills ask for hundreds).
+BULK_BATCH = 512
+
+
+def _churn_bulk(buddy: BuddyAllocator, iters: int, seed: int = 7) -> int:
+    """Bulk-path churn: alloc_bulk batches in, free_bulk batches out.
+
+    Same bounded-live-set shape as :func:`_churn`, but driven through
+    the vectorised batch APIs — the fast path a struct-of-arrays core
+    exists for.  Lifetimes are batch-granular: a random *whole*
+    allocation batch is freed at a time, mirroring how the real bulk
+    callers behave (a PCP spill or workload cache turnover releases
+    the pages it acquired together), while random victim order still
+    interleaves the address space across batches.
+    """
+    rng = random.Random(seed)
+    live: list[list[int]] = []
+    nlive = 0
+    cap = buddy.nr_frames // 4
+    ops = 0
+    for _ in range(iters):
+        got = buddy.alloc_bulk(BULK_BATCH, MigrateType.MOVABLE)
+        if got.size:
+            live.append(got.tolist())
+            nlive += int(got.size)
+        ops += int(got.size)
+        while nlive > cap and live:
+            victims = live.pop(rng.randrange(len(live)))
+            buddy.free_bulk(victims)
+            nlive -= len(victims)
+            ops += len(victims)
+    for victims in live:
+        buddy.free_bulk(victims)
+        ops += len(victims)
+    return ops
+
+
 def run(quick: bool = False) -> list[BenchResult]:
     iters = 5_000 if quick else 60_000
     mem_bytes = MiB(16 if quick else 64)
@@ -64,5 +102,17 @@ def run(quick: bool = False) -> list[BenchResult]:
         ops_holder.append(_churn(buddy, iters))
 
     secs = time_best(once, repeats=1 if quick else 3)
-    return [BenchResult("alloc_free_churn", ops_holder[-1], secs,
-                        unit="alloc+free ops")]
+    results = [BenchResult("alloc_free_churn", ops_holder[-1], secs,
+                           unit="alloc+free ops")]
+
+    bulk_iters = 200 if quick else 2_000
+    bulk_ops = []
+
+    def once_bulk():
+        buddy = _make_buddy(mem_bytes)
+        bulk_ops.append(_churn_bulk(buddy, bulk_iters))
+
+    bsecs = time_best(once_bulk, repeats=1 if quick else 3)
+    results.append(BenchResult("alloc_free_churn_bulk", bulk_ops[-1],
+                               bsecs, unit="alloc+free ops"))
+    return results

@@ -9,12 +9,19 @@ it across cores.
 
 from __future__ import annotations
 
-from repro.fleet import FleetConfig, ServerConfig, run_fleet
+from repro.fleet import FleetConfig, ServerConfig, run_fleet, survey_fleet
 from repro.units import MiB
 
 from harness import BenchResult, time_best
 
 FLEET_SERVERS = 16
+
+#: The headline survey: 1,000 small servers streamed through
+#: :func:`survey_fleet` (constant memory, sharded submission).  The
+#: absolute gate in check_regression.py requires the full-size run to
+#: finish inside 60 s.
+SURVEY_SERVERS = 1_000
+SURVEY_SERVERS_QUICK = 128
 
 
 def _config(quick: bool) -> tuple[ServerConfig, int]:
@@ -45,5 +52,19 @@ def run(quick: bool = False) -> list[BenchResult]:
 
     psecs = time_best(parallel, repeats=1)
     results.append(BenchResult("fleet_sample_parallel", n, psecs,
+                               unit="servers"))
+
+    survey_n = SURVEY_SERVERS_QUICK if quick else SURVEY_SERVERS
+    survey_cfg = FleetConfig(
+        n_servers=survey_n,
+        server=ServerConfig(mem_bytes=MiB(64), min_uptime_steps=40,
+                            max_uptime_steps=80),
+        base_seed=5, workers=None)
+
+    def survey():
+        survey_fleet(survey_cfg)
+
+    ssecs = time_best(survey, repeats=1)
+    results.append(BenchResult("fleet_survey_1k", survey_n, ssecs,
                                unit="servers"))
     return results

@@ -11,6 +11,20 @@ A bench regresses when its ``speedup_vs_baseline`` drops below
 skipped — the gate only compares like with like (CI refreshes the quick
 baseline in-job so the comparison is same-machine, same-sizes).
 
+Two benches additionally carry *absolute* throughput floors
+(:data:`ABSOLUTE_FLOORS`), enforced only on full-size runs
+(``"quick": false`` in the BENCH json — quick sizes are not comparable):
+
+* ``alloc_free_churn_bulk`` must sustain >= 10x the seed repo's scalar
+  churn baseline (180,224.72 ops/s recorded in ``baseline.json``) —
+  the struct-of-arrays + bulk-API contract;
+* ``fleet_survey_1k`` must finish 1,000 servers inside 60 s
+  (>= 16.67 servers/s) — the streaming sharded-fleet contract.
+
+``--absolute-only`` enforces just those floors and ignores the relative
+speedups — the mode CI uses for its full-size pass, whose in-job
+baseline was recorded at quick sizes and is not comparable.
+
 Exit status: 0 when every compared bench is within bounds, 1 otherwise.
 """
 
@@ -20,17 +34,38 @@ import argparse
 import json
 import sys
 
+#: Absolute ops/s floors for full-size runs; see the module docstring
+#: for where each number comes from.
+ABSOLUTE_FLOORS = {
+    "alloc_free_churn_bulk": 1_802_247.0,   # 10x seed scalar churn
+    "fleet_survey_1k": 1_000 / 60.0,        # 1,000 servers in 60 s
+}
 
-def check(paths: list[str], max_regress: float) -> int:
+
+def check(paths: list[str], max_regress: float,
+          absolute_only: bool = False) -> int:
     failures = []
     compared = 0
     for path in paths:
         with open(path) as fh:
             data = json.load(fh)
+        quick = bool(data.get("quick"))
         for name, row in sorted(data.get("benches", {}).items()):
+            floor = ABSOLUTE_FLOORS.get(name)
+            if floor is not None and not quick:
+                compared += 1
+                rate = row.get("ops_per_sec", 0.0)
+                status = "ok" if rate >= floor else "FAIL"
+                print(f"{status:4s} {name:28s} {rate:>12.1f} ops/s "
+                      f"(absolute floor {floor:.1f})")
+                if status == "FAIL":
+                    failures.append(name)
+            if absolute_only:
+                continue
             speedup = row.get("speedup_vs_baseline")
             if speedup is None:
-                print(f"skip {name}: no baseline entry")
+                if floor is None or quick:
+                    print(f"skip {name}: no baseline entry")
                 continue
             compared += 1
             status = "ok" if speedup >= 1 - max_regress else "FAIL"
@@ -56,10 +91,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="BENCH_*.json files written by run_perf.py")
     parser.add_argument("--max-regress", type=float, default=0.05,
                         help="allowed fractional slowdown (default 0.05)")
+    parser.add_argument("--absolute-only", action="store_true",
+                        help="enforce only the absolute floors; ignore "
+                             "speedup_vs_baseline (for full-size runs "
+                             "whose baseline was recorded at quick sizes)")
     args = parser.parse_args(argv)
     if not 0 <= args.max_regress < 1:
         parser.error("--max-regress must be in [0, 1)")
-    return check(args.bench_json, args.max_regress)
+    return check(args.bench_json, args.max_regress, args.absolute_only)
 
 
 if __name__ == "__main__":

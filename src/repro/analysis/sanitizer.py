@@ -130,6 +130,9 @@ def verify_allocator(alloc) -> None:
     * occupancy-bitmap soundness — a non-empty ``(order, migratetype)``
       free list must have its ``_occ`` bit set (stale *set* bits over
       empty lists are legal; they heal lazily);
+    * intrusive-link integrity — each list's own
+      ``check_invariants()`` (next/prev chain closure, membership
+      stamps) when the list implementation provides one;
     * per-entry agreement — every listed head must be marked free at the
       listed order in ``mem.free_order`` and not allocated;
     * migratetype agreement — ``mem.free_mt`` must match the list each
@@ -151,6 +154,14 @@ def verify_allocator(alloc) -> None:
                 raise FreelistDivergenceError(
                     f"{alloc.label}: occupancy bit clear for non-empty "
                     f"list order={order} mt={imt}")
+            check = getattr(flist, "check_invariants", None)
+            if check is not None:
+                try:
+                    check()
+                except Exception as exc:
+                    raise FreelistDivergenceError(
+                        f"{alloc.label}: intrusive-list invariants broken "
+                        f"at order={order} mt={imt}: {exc}") from exc
             for pfn in flist:
                 if mem.free_order[pfn] != order:
                     raise FreelistDivergenceError(

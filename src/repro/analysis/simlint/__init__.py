@@ -19,6 +19,11 @@ SL006     deterministic iteration — set iteration feeding output or
           accumulation in ``fleet``/``telemetry`` needs ``sorted()``
 SL007     no new calls to deprecated APIs (``contiguity_values`` /
           ``unmovable_values``)
+SL008     retry loops must be bounded — ``while True:`` with retry
+          markers needs an attempt counter
+SL009     no per-frame Python-object construction in ``mm`` hot
+          loops — read the packed arrays, build objects at the API
+          boundary
 ========  ==========================================================
 
 Suppress a finding with a trailing ``# simlint: disable=SL004`` comment

@@ -1,4 +1,4 @@
-"""The simlint rule catalogue (SL001–SL008).
+"""The simlint rule catalogue (SL001–SL009).
 
 Each rule is a small class with a ``check(ctx)`` generator yielding
 :class:`~repro.analysis.simlint.core.Finding` objects.  Rules encode the
@@ -406,6 +406,79 @@ class BoundedRetryRule(Rule):
                     "budget is spent")
 
 
+#: Constructors that build one Python object per call (SL009); in an mm
+#: per-frame loop each call costs an allocation the packed arrays exist
+#: to avoid.
+PER_FRAME_OBJECT_CTORS = {
+    "MigrateType", "AllocSource", "PageHandle", "AllocationInfo",
+}
+
+#: Loop-variable name fragments that mark a loop as per-frame (SL009).
+PER_FRAME_LOOP_MARKERS = ("pfn", "frame", "head", "buddy")
+
+
+class PerFrameObjectRule(Rule):
+    """SL009: no per-frame Python-object construction in mm hot loops.
+
+    The struct-of-arrays core (docs/INTERNALS.md) keeps every per-frame
+    fact in packed numpy arrays precisely so the allocator's hot loops
+    touch ints, not objects: constructing a :class:`MigrateType`,
+    :class:`PageHandle`, or :class:`AllocationInfo` per frame inside a
+    loop over PFNs re-introduces an object allocation per page — the
+    cost the arrays were built to eliminate — and shows up directly in
+    the churn benchmark.  Read the packed view instead
+    (``pageblocks.get_int``, ``mem.free_order_mv``, ...) and construct
+    objects only at the API boundary.  A site where the object *is* the
+    product (e.g. handing :class:`PageHandle` results to a caller) is
+    acknowledged with ``# simlint: disable=SL009``.
+    """
+
+    code = "SL009"
+    title = "no per-frame object construction in mm hot loops"
+
+    @staticmethod
+    def _target_names(target: ast.AST) -> Iterator[str]:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                yield node.id
+
+    def _per_frame_loops(self, ctx: FileContext) -> Iterator[ast.AST]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For):
+                names = self._target_names(node.target)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                names = (n for gen in node.generators
+                         for n in self._target_names(gen.target))
+            else:
+                continue
+            if any(marker in name.lower()
+                   for name in names
+                   for marker in PER_FRAME_LOOP_MARKERS):
+                yield node
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_subsystem("mm") or ctx.is_test_file():
+            return
+        seen: set[ast.AST] = set()
+        for loop in self._per_frame_loops(ctx):
+            for node in ast.walk(loop):
+                if node in seen or not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if not name:
+                    continue
+                ctor = name.split(".")[-1]
+                if ctor in PER_FRAME_OBJECT_CTORS:
+                    seen.add(node)
+                    yield self.finding(
+                        ctx, node,
+                        f"{ctor}(...) constructs a Python object per "
+                        f"frame in an mm hot loop; read the packed "
+                        f"arrays (pageblocks.get_int, free_order_mv, "
+                        f"...) and build objects at the API boundary")
+
+
 #: The shipped rule set, in code order.
 DEFAULT_RULES = (
     WallClockRule(),
@@ -416,6 +489,7 @@ DEFAULT_RULES = (
     DeterministicIterationRule(),
     DeprecatedApiRule(),
     BoundedRetryRule(),
+    PerFrameObjectRule(),
 )
 
 

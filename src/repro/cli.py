@@ -40,6 +40,7 @@ from .analysis import (
     unmovable_block_fraction,
     unmovable_region_internal_frag,
 )
+from .errors import ConfigurationError
 from .units import MiB, PAGEBLOCK_FRAMES
 
 
@@ -116,10 +117,45 @@ def _cmd_steady(args) -> None:
         title=f"{spec.name} on {args.kernel} after {args.steps} steps"))
 
 
-def _cmd_fleet(args) -> None:
-    from .fleet import FleetConfig, ServerConfig, run_fleet
-    from .telemetry import TelemetryConfig
+class _ProgressSink:
+    """Prints shard progress to stderr off the fleet tracepoints.
 
+    Rides the existing telemetry stream — ``fleet.server.done`` /
+    ``fleet.server.fail`` events — rather than adding a side channel,
+    so progress costs nothing when not requested and sees exactly what
+    the manifest sees.
+    """
+
+    def __init__(self, n_servers: int) -> None:
+        self.n_servers = n_servers
+        self.done = 0
+        self.failed = 0
+
+    def append(self, event) -> None:
+        import sys
+
+        if event.name == "fleet.server.done":
+            self.done += 1
+        elif event.name == "fleet.server.fail":
+            self.done += 1
+            self.failed += 1
+        else:
+            return
+        secs = event.fields.get("seconds")
+        rate = (f", {self.done / secs:.1f} servers/s"
+                if secs else "")
+        print(f"\r[fleet] {self.done}/{self.n_servers} servers"
+              + (f" ({self.failed} degraded)" if self.failed else "")
+              + rate, end="", file=sys.stderr)
+        if self.done == self.n_servers:
+            print(file=sys.stderr)
+
+
+def _cmd_fleet(args) -> None:
+    from .fleet import FleetConfig, ServerConfig, check_survey_fit, run_fleet
+    from .telemetry import TelemetryConfig, tracing
+
+    check_survey_fit(args.servers, MiB(args.mem_mib), args.workers)
     telemetry = None
     if args.trace or args.events or args.manifest:
         telemetry = TelemetryConfig(
@@ -127,10 +163,17 @@ def _cmd_fleet(args) -> None:
             events_path=args.events,
             manifest_path=args.manifest,
         )
-    fleet = run_fleet(FleetConfig(
+    config = FleetConfig(
         n_servers=args.servers,
         server=ServerConfig(mem_bytes=MiB(args.mem_mib)),
-        base_seed=args.seed, workers=args.workers, telemetry=telemetry))
+        base_seed=args.seed, workers=args.workers,
+        chunk_size=args.chunk_size, telemetry=telemetry)
+    if args.progress:
+        with tracing("fleet.server.*",
+                     sink=_ProgressSink(args.servers)):
+            fleet = run_fleet(config)
+    else:
+        fleet = run_fleet(config)
     rows = [
         (gran,
          percent(fleet.fraction_without_any(gran), 0),
@@ -561,8 +604,15 @@ def build_parser() -> argparse.ArgumentParser:
     fleet = sub.add_parser(
         "fleet", help="fleet fragmentation survey",
         parents=[_common_options(seed=0, workers=True, manifest=True)])
-    fleet.add_argument("--servers", type=int, default=6)
+    fleet.add_argument("--servers", type=int, default=6,
+                       help="fleet size (validated against available "
+                            "memory before any worker starts)")
     fleet.add_argument("--mem-mib", type=int, default=512)
+    fleet.add_argument("--chunk-size", type=int, default=None,
+                       help="servers packed per worker task (default: "
+                            "auto-sized; results identical either way)")
+    fleet.add_argument("--progress", action="store_true",
+                       help="print per-server shard progress to stderr")
     fleet.add_argument("--trace", action="store_true",
                        help="enable tracepoints during the run")
     fleet.add_argument("--events", metavar="PATH", default=None,
@@ -685,6 +735,10 @@ def main(argv: list[str] | None = None) -> None:
     args = build_parser().parse_args(argv)
     try:
         args.fn(args)
+    except ConfigurationError as exc:
+        # Bad user input (flag values, config combinations): the typed
+        # message already names the remedy, so no traceback.
+        raise SystemExit(f"repro: {exc}")
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; not an error.
         import os

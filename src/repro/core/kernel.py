@@ -179,6 +179,32 @@ class ContiguitasKernel(LinuxKernel):
             self.reclaim_lru.register(handle)
         return handle
 
+    def alloc_pages_bulk(
+        self,
+        count: int,
+        source: AllocSource = AllocSource.USER,
+        migratetype: MigrateType | None = None,
+        reclaimable: bool = False,
+    ) -> list[PageHandle]:
+        """Region-aware bulk fast path (see the base class).
+
+        The migrate type is coerced to the owning region's, as in
+        :meth:`alloc_pages`.  Unmovable-region traffic with an active
+        placement bias stays scalar (returns no handles): the bulk pop
+        cannot reproduce the biased pop direction.
+        """
+        mt = migratetype if migratetype is not None else (
+            MigrateType.MOVABLE if source is AllocSource.USER
+            else MigrateType.UNMOVABLE)
+        allocator = self.allocator_for_request(mt, source, False)
+        if allocator is self.unmovable:
+            if self.config.placement.direction(source) is not None:
+                return []
+            mt = MigrateType.UNMOVABLE
+        else:
+            mt = MigrateType.MOVABLE
+        return self._finish_bulk(allocator, mt, count, source, reclaimable)
+
     def _slow_path(
         self,
         allocator: BuddyAllocator,

@@ -5,9 +5,22 @@ are the typed front door; ``sample_fleet`` is the deprecated kwarg shim.
 """
 
 from .config import FleetConfig
-from .engine import WorkerOutcome, resolve_workers, run_fleet_scans
+from .engine import (
+    WorkerOutcome,
+    check_survey_fit,
+    estimate_survey_bytes,
+    iter_fleet_scans,
+    resolve_workers,
+    run_fleet_scans,
+)
 from .report import render_report
-from .sampler import FleetSample, run_fleet, sample_fleet
+from .sampler import (
+    FleetSample,
+    FleetSummary,
+    run_fleet,
+    sample_fleet,
+    survey_fleet,
+)
 from .server import FLEET_SERVICES, ServerConfig, ServerScan, SimulatedServer
 from .stats import cdf_at, median, pearson, percentile
 
@@ -15,11 +28,15 @@ __all__ = [
     "FLEET_SERVICES",
     "FleetConfig",
     "FleetSample",
+    "FleetSummary",
     "ServerConfig",
     "ServerScan",
     "SimulatedServer",
     "WorkerOutcome",
     "cdf_at",
+    "check_survey_fit",
+    "estimate_survey_bytes",
+    "iter_fleet_scans",
     "median",
     "pearson",
     "percentile",
@@ -28,4 +45,5 @@ __all__ = [
     "run_fleet",
     "run_fleet_scans",
     "sample_fleet",
+    "survey_fleet",
 ]

@@ -49,6 +49,11 @@ class FleetConfig:
         server_timeout: seconds one attempt may run before the
             supervisor recycles it (``None`` = no limit).
         backoff_base: first-retry backoff seconds (doubles per attempt).
+        chunk_size: servers packed per worker task in parallel runs
+            (``None`` = auto-sized from fleet and pool size; ignored
+            when serial; forced to 1 under ``server_timeout`` since
+            timeouts are per-server).  Results are bit-identical for
+            every chunk size.
     """
 
     n_servers: int = 50
@@ -59,6 +64,7 @@ class FleetConfig:
     max_retries: int | None = None
     server_timeout: float | None = None
     backoff_base: float | None = None
+    chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_servers < 0:
@@ -75,3 +81,6 @@ class FleetConfig:
         if self.backoff_base is not None and self.backoff_base < 0:
             raise ConfigurationError(
                 f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {self.chunk_size}")

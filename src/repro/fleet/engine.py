@@ -46,6 +46,7 @@ from dataclasses import dataclass
 
 from ..errors import ConfigurationError, WorkerCrashError
 from ..telemetry import tracepoint
+from ..units import FRAME_SIZE
 from .server import ServerConfig, ServerScan, SimulatedServer
 
 _tp_run_start = tracepoint("fleet.run.start")
@@ -178,6 +179,156 @@ def resolve_workers(workers: int | None = None) -> int:
     return max(1, workers)
 
 
+#: Rough per-frame bookkeeping cost of one simulated server: the packed
+#: frame arrays (~22 B) plus the intrusive freelist store (~20 B) plus
+#: Python-object slack, rounded up.  Deliberately conservative — the
+#: footprint check must never green-light a survey that then OOMs.
+_BYTES_PER_FRAME = 64
+
+#: Fixed per-worker-process slack (interpreter, imports, scan buffers).
+_WORKER_SLACK_BYTES = 32 << 20
+
+
+def _available_memory_bytes() -> int | None:
+    """``MemAvailable`` from ``/proc/meminfo``, or None where the file
+    is absent/unreadable (non-Linux; the footprint check is skipped)."""
+    try:
+        with open("/proc/meminfo") as fh:
+            for line in fh:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        return None
+    return None
+
+
+def estimate_survey_bytes(n_servers: int, mem_bytes: int,
+                          workers: int | None = None) -> int:
+    """Conservative peak resident footprint of one fleet survey.
+
+    Servers run (and die) one at a time per worker process, so the
+    concurrent cost is ``workers × one simulated server``, not
+    ``n_servers × one`` — what made unbounded ``n_servers`` safe to
+    allow in the first place.  Scans held by the caller cost a few KiB
+    each and are charged per server.
+    """
+    nworkers = min(resolve_workers(workers), max(1, n_servers))
+    per_server = (mem_bytes // FRAME_SIZE) * _BYTES_PER_FRAME
+    return (nworkers * (per_server + _WORKER_SLACK_BYTES)
+            + n_servers * 4096)
+
+
+def check_survey_fit(n_servers: int, mem_bytes: int,
+                     workers: int | None = None,
+                     available_bytes: int | None = None) -> int:
+    """Refuse a survey whose peak footprint exceeds available memory.
+
+    Raises a typed :class:`~repro.errors.ConfigurationError` *before*
+    any worker starts, naming the estimate and the remedy, instead of
+    letting the OOM killer pick a victim mid-campaign.  Returns the
+    estimated footprint in bytes.  With no *available_bytes* the check
+    reads ``/proc/meminfo``; where that is unreadable the check is
+    skipped (estimate still returned).
+    """
+    need = estimate_survey_bytes(n_servers, mem_bytes, workers)
+    if available_bytes is None:
+        available_bytes = _available_memory_bytes()
+    if available_bytes is not None and need > available_bytes:
+        raise ConfigurationError(
+            f"fleet survey of {n_servers} servers x "
+            f"{mem_bytes >> 20} MiB needs ~{need >> 20} MiB resident "
+            f"({min(resolve_workers(workers), max(1, n_servers))} "
+            f"concurrent workers) but only "
+            f"{available_bytes >> 20} MiB is available; reduce "
+            f"--servers, --mem-mib, or --workers")
+    return need
+
+
+#: Upper bound on servers packed into one pool task when auto-chunking.
+_MAX_CHUNK = 64
+
+
+def _scan_chunk(
+    payloads: list[tuple[int, ServerConfig | None, int, int]],
+) -> list[WorkerOutcome]:
+    """Run several supervised server attempts in one pool task.
+
+    One fork/IPC round-trip per *chunk* instead of per server — the
+    submission overhead that dominates thousand-server surveys.  Each
+    server is still individually guarded by :func:`_scan_payload`, so
+    one server's failure (including an injected crash fault) degrades
+    that server's outcome only; the supervisor re-queues it as a
+    singleton retry with its per-server attempt count intact.
+    """
+    return [_scan_payload(p) for p in payloads]
+
+
+def _resolve_chunk(chunk_size: int | None, n_servers: int, nworkers: int,
+                   server_timeout: float | None) -> int:
+    """Servers per pool task.  Straggler control is per-server, so an
+    armed ``server_timeout`` forces singleton tasks; otherwise the auto
+    heuristic aims for a few chunks per inflight slot so the tail of
+    the run stays load-balanced."""
+    if server_timeout is not None:
+        return 1
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}")
+        return chunk_size
+    return max(1, min(_MAX_CHUNK,
+                      n_servers // (nworkers * _INFLIGHT_PER_WORKER * 4)))
+
+
+def iter_fleet_scans(n_servers: int,
+                     config: ServerConfig | None = None,
+                     base_seed: int = 0,
+                     workers: int | None = None,
+                     chunk_size: int | None = None,
+                     max_retries: int | None = None,
+                     server_timeout: float | None = None,
+                     backoff_base: float | None = None):
+    """Stream ``(index, scan)`` pairs as servers complete.
+
+    The streaming spine of :func:`run_fleet_scans`: identical
+    supervision (retries, backoff, straggler recycling, pool rebuilds)
+    and identical per-index scans, but each scan is handed to the
+    caller the moment it lands instead of accumulating in a list —
+    aggregation memory stays flat however many servers the survey
+    spans.  Parallel runs yield in completion order; the serial path
+    yields in index order.  Every index is yielded exactly once
+    (degraded placeholders included).
+    """
+    if max_retries is None:
+        max_retries = DEFAULT_MAX_RETRIES
+    if backoff_base is None:
+        backoff_base = DEFAULT_BACKOFF_BASE
+    nworkers = min(resolve_workers(workers), max(1, n_servers))
+    t0 = time.perf_counter()
+    if _tp_run_start.enabled:
+        _tp_run_start.emit(n_servers=n_servers, workers=nworkers,
+                           base_seed=base_seed)
+    n_failed = 0
+    if nworkers <= 1:
+        for i in range(n_servers):
+            scan, failed = _supervise_one(
+                i, config, base_seed + i, 0, max_retries, backoff_base, t0)
+            n_failed += failed
+            yield i, scan
+    else:
+        chunk = _resolve_chunk(chunk_size, n_servers, nworkers,
+                               server_timeout)
+        for index, scan, failed in _iter_supervised(
+                config, base_seed, n_servers, nworkers, chunk,
+                max_retries, server_timeout, backoff_base, t0):
+            n_failed += failed
+            yield index, scan
+    if _tp_run_finish.enabled:
+        _tp_run_finish.emit(n_servers=n_servers, workers=nworkers,
+                            n_failed=n_failed,
+                            seconds=time.perf_counter() - t0)
+
+
 def run_fleet_scans(n_servers: int,
                     config: ServerConfig | None = None,
                     base_seed: int = 0,
@@ -191,7 +342,9 @@ def run_fleet_scans(n_servers: int,
     This is the raw engine: it returns the index-ordered scan list.
     Most callers want :func:`repro.fleet.run_fleet`, the typed front
     door that wraps the scans in a :class:`~repro.fleet.FleetSample`
-    with telemetry and a run manifest.
+    with telemetry and a run manifest — or, for surveys too large to
+    hold every scan, :func:`iter_fleet_scans` / the streaming
+    aggregator in :mod:`repro.fleet.sampler`.
 
     Returns scans ordered by server index.  Identical output to
     ``[SimulatedServer(config, seed=base_seed + i).run() for i in ...]``
@@ -205,40 +358,22 @@ def run_fleet_scans(n_servers: int,
         server_timeout: seconds a single attempt may run before the
             supervisor abandons it and charges a retry (None = no
             limit).  The straggler's eventual result is discarded.
+            Forces singleton tasks (timeouts are per-server).
         backoff_base: first-retry delay, doubling per attempt up to
             :data:`DEFAULT_BACKOFF_CAP` (0 disables sleeping).
-        chunk_size: accepted for API compatibility and ignored — the
-            supervisor dispatches one payload per task so any payload
-            can be individually retried or timed out.
+        chunk_size: servers dispatched per pool task.  ``None`` picks a
+            heuristic from the fleet and worker counts; 1 reproduces
+            the pre-chunking one-payload-per-task dispatch exactly.
+            Scans are bit-identical for every value — chunking changes
+            packaging, never seeding or supervision.
     """
-    del chunk_size  # pre-supervisor knob; single-payload tasks now
-    if max_retries is None:
-        max_retries = DEFAULT_MAX_RETRIES
-    if backoff_base is None:
-        backoff_base = DEFAULT_BACKOFF_BASE
-    payloads = [(config, base_seed + i) for i in range(n_servers)]
-    nworkers = min(resolve_workers(workers), max(1, n_servers))
-    t0 = time.perf_counter()
-    if _tp_run_start.enabled:
-        _tp_run_start.emit(n_servers=n_servers, workers=nworkers,
-                           base_seed=base_seed)
-    if nworkers <= 1:
-        scans: list[ServerScan] = []
-        n_failed = 0
-        for i, (cfg, seed) in enumerate(payloads):
-            scan, failed = _supervise_one(
-                i, cfg, seed, 0, max_retries, backoff_base, t0)
-            scans.append(scan)
-            n_failed += failed
-    else:
-        scans, n_failed = _run_supervised(
-            payloads, nworkers, max_retries, server_timeout,
-            backoff_base, t0)
-    if _tp_run_finish.enabled:
-        _tp_run_finish.emit(n_servers=n_servers, workers=nworkers,
-                            n_failed=n_failed,
-                            seconds=time.perf_counter() - t0)
-    return scans
+    results: list[ServerScan | None] = [None] * n_servers
+    for i, scan in iter_fleet_scans(
+            n_servers, config=config, base_seed=base_seed, workers=workers,
+            chunk_size=chunk_size, max_retries=max_retries,
+            server_timeout=server_timeout, backoff_base=backoff_base):
+        results[i] = scan
+    return results
 
 
 def _supervise_one(index: int, config: ServerConfig | None, seed: int,
@@ -270,28 +405,28 @@ def _supervise_one(index: int, config: ServerConfig | None, seed: int,
     return _degraded_scan(error), True
 
 
-def _run_supervised(payloads: list[tuple[ServerConfig | None, int]],
-                    nworkers: int, max_retries: int,
-                    server_timeout: float | None, backoff_base: float,
-                    t0: float) -> tuple[list[ServerScan], int]:
-    """The parallel supervisor: submit/collect loop over a process pool.
+def _iter_supervised(config: ServerConfig | None, base_seed: int, n: int,
+                     nworkers: int, chunk: int, max_retries: int,
+                     server_timeout: float | None, backoff_base: float,
+                     t0: float):
+    """The parallel supervisor: submit/collect loop over a process pool,
+    yielding ``(index, scan, degraded?)`` as results land.
 
-    Invariants: every index ends up with exactly one scan (real or
-    degraded); a payload is charged one attempt per submission, timeout,
-    or pool break; attempts never exceed ``max_retries + 1``.
+    Invariants: every index is yielded exactly once (real or degraded);
+    a payload is charged one attempt per submission, timeout, or pool
+    break; attempts never exceed ``max_retries + 1``.  Fresh payloads
+    are packed up to *chunk* per task; retries always travel as
+    singletons so each server keeps its own attempt count and backoff.
     """
-    n = len(payloads)
-    results: list[ServerScan | None] = [None] * n
-    n_failed = 0
     pending: deque[tuple[int, int]] = deque((i, 0) for i in range(n))
     delayed: list[tuple[float, int, int]] = []   # (ready_at, index, attempt)
-    inflight: dict = {}                          # future -> (idx, att, ddl)
+    inflight: dict = {}                          # future -> (entries, ddl)
+    ready: deque[tuple[int, ServerScan, bool]] = deque()
     rebuilds = 0
     pool = ProcessPoolExecutor(max_workers=nworkers)
 
     def handle_failure(index: int, attempt: int, error: str) -> None:
-        nonlocal n_failed
-        seed = payloads[index][1]
+        seed = base_seed + index
         if attempt < max_retries:
             if _tp_server_retry.enabled:
                 _tp_server_retry.emit(index=index, seed=seed, attempt=attempt)
@@ -303,8 +438,7 @@ def _run_supervised(payloads: list[tuple[ServerConfig | None, int]],
             else:
                 pending.append((index, attempt + 1))
         else:
-            results[index] = _degraded_scan(error)
-            n_failed += 1
+            ready.append((index, _degraded_scan(error), True))
             if _tp_server_fail.enabled:
                 _tp_server_fail.emit(
                     index=index, seed=seed, attempts=attempt + 1,
@@ -317,12 +451,19 @@ def _run_supervised(payloads: list[tuple[ServerConfig | None, int]],
                 _, index, attempt = heapq.heappop(delayed)
                 pending.append((index, attempt))
             while pending and len(inflight) < nworkers * _INFLIGHT_PER_WORKER:
-                index, attempt = pending.popleft()
-                cfg, seed = payloads[index]
-                fut = pool.submit(_scan_payload, (index, cfg, seed, attempt))
+                entries = [pending.popleft()]
+                if entries[0][1] == 0:
+                    # Pack fresh neighbours into the task; a retry is
+                    # never co-packed (its backoff and attempt count
+                    # are its own).
+                    while (pending and len(entries) < chunk
+                           and pending[0][1] == 0):
+                        entries.append(pending.popleft())
+                task = [(i, config, base_seed + i, a) for i, a in entries]
+                fut = pool.submit(_scan_chunk, task)
                 deadline = (now + server_timeout
                             if server_timeout is not None else None)
-                inflight[fut] = (index, attempt, deadline)
+                inflight[fut] = (entries, deadline)
             if not inflight:
                 # Everything left is backing off; sleep until the first
                 # delayed payload is ready for resubmission.
@@ -332,7 +473,7 @@ def _run_supervised(payloads: list[tuple[ServerConfig | None, int]],
             timeout = None
             if delayed:
                 timeout = max(0.0, delayed[0][0] - now)
-            ddls = [d for (_i, _a, d) in inflight.values() if d is not None]
+            ddls = [d for (_e, d) in inflight.values() if d is not None]
             if ddls:
                 until_ddl = max(0.0, min(ddls) - now)
                 timeout = (until_ddl if timeout is None
@@ -342,38 +483,44 @@ def _run_supervised(payloads: list[tuple[ServerConfig | None, int]],
 
             broken = False
             for fut in done:
-                index, attempt, _ddl = inflight.pop(fut)
+                entries, _ddl = inflight.pop(fut)
                 try:
-                    outcome = fut.result()
+                    outcomes = fut.result()
                 except Exception as exc:
                     if isinstance(exc, BrokenProcessPool):
                         broken = True
-                    seed = payloads[index][1]
-                    handle_failure(
-                        index, attempt,
-                        f"server {index} (seed {seed}, attempt {attempt}): "
-                        f"pool failure: {type(exc).__name__}: {exc}")
+                    for index, attempt in entries:
+                        seed = base_seed + index
+                        handle_failure(
+                            index, attempt,
+                            f"server {index} (seed {seed}, attempt "
+                            f"{attempt}): pool failure: "
+                            f"{type(exc).__name__}: {exc}")
                     continue
-                if outcome.ok:
-                    results[index] = outcome.scan
-                    if _tp_server_done.enabled:
-                        _tp_server_done.emit(
-                            index=index, seed=outcome.seed,
-                            uptime_steps=outcome.scan.uptime_steps,
-                            seconds=time.perf_counter() - t0)
-                else:
-                    handle_failure(index, attempt, outcome.error)
+                for (index, attempt), outcome in zip(entries, outcomes):
+                    if outcome.ok:
+                        ready.append((index, outcome.scan, False))
+                        if _tp_server_done.enabled:
+                            _tp_server_done.emit(
+                                index=index, seed=outcome.seed,
+                                uptime_steps=outcome.scan.uptime_steps,
+                                seconds=time.perf_counter() - t0)
+                    else:
+                        handle_failure(index, attempt, outcome.error)
+            while ready:
+                yield ready.popleft()
 
             if broken:
                 # A worker died hard and took the pool down; every other
                 # in-flight payload is lost with it.  Charge each an
                 # attempt and rebuild, boundedly.
-                for fut, (index, attempt, _ddl) in list(inflight.items()):
-                    seed = payloads[index][1]
-                    handle_failure(
-                        index, attempt,
-                        f"server {index} (seed {seed}, attempt {attempt}): "
-                        f"lost to broken process pool")
+                for fut, (entries, _ddl) in list(inflight.items()):
+                    for index, attempt in entries:
+                        seed = base_seed + index
+                        handle_failure(
+                            index, attempt,
+                            f"server {index} (seed {seed}, attempt "
+                            f"{attempt}): lost to broken process pool")
                 inflight.clear()
                 pool.shutdown(wait=False, cancel_futures=True)
                 rebuilds += 1
@@ -386,13 +533,13 @@ def _run_supervised(payloads: list[tuple[ServerConfig | None, int]],
                         pending.append((index, attempt))
                     while pending:
                         index, attempt = pending.popleft()
-                        cfg, seed = payloads[index]
                         scan, failed = _supervise_one(
-                            index, cfg, seed, attempt, max_retries,
-                            backoff_base, t0)
-                        results[index] = scan
-                        n_failed += failed
-                    break
+                            index, config, base_seed + index, attempt,
+                            max_retries, backoff_base, t0)
+                        yield index, scan, failed
+                    while ready:
+                        yield ready.popleft()
+                    return
                 pool = ProcessPoolExecutor(max_workers=nworkers)
                 continue
 
@@ -402,16 +549,21 @@ def _run_supervised(payloads: list[tuple[ServerConfig | None, int]],
                 # result is simply dropped (its future left inflight no
                 # longer exists in the map).
                 now = time.perf_counter()
-                expired = [fut for fut, (_i, _a, d) in inflight.items()
+                expired = [fut for fut, (_e, d) in inflight.items()
                            if d is not None and d <= now]
                 for fut in expired:
-                    index, attempt, _ddl = inflight.pop(fut)
+                    entries, _ddl = inflight.pop(fut)
                     fut.cancel()
-                    seed = payloads[index][1]
-                    handle_failure(
-                        index, attempt,
-                        f"server {index} (seed {seed}, attempt {attempt}): "
-                        f"timed out after {server_timeout:.3f}s")
+                    for index, attempt in entries:
+                        seed = base_seed + index
+                        handle_failure(
+                            index, attempt,
+                            f"server {index} (seed {seed}, attempt "
+                            f"{attempt}): timed out after "
+                            f"{server_timeout:.3f}s")
+                while ready:
+                    yield ready.popleft()
+        while ready:
+            yield ready.popleft()
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
-    return results, n_failed

@@ -33,7 +33,7 @@ from ..telemetry import (
     write_manifest,
 )
 from .config import FleetConfig
-from .engine import resolve_workers, run_fleet_scans
+from .engine import iter_fleet_scans, resolve_workers, run_fleet_scans
 from .server import ServerConfig, ServerScan
 from .stats import median, pearson
 
@@ -282,9 +282,169 @@ def _run_scans(config: FleetConfig) -> list[ServerScan]:
     return run_fleet_scans(
         config.n_servers, config=config.server,
         base_seed=config.base_seed, workers=config.workers,
+        chunk_size=config.chunk_size,
         max_retries=config.max_retries,
         server_timeout=config.server_timeout,
         backoff_base=config.backoff_base)
+
+
+@dataclass
+class FleetSummary:
+    """Constant-memory aggregates of one fleet survey.
+
+    The streaming counterpart of :class:`FleetSample`: the same
+    fleet-level numbers, but computed incrementally by
+    :func:`survey_fleet` without ever materialising the scan list.
+    :meth:`snapshot` is bit-identical to :meth:`FleetSample.snapshot`
+    for the same campaign.
+    """
+
+    n_servers: int
+    n_failed_servers: int
+    fraction_without_any_2mb: float
+    median_unmovable_2mb: float
+    uptime_correlation: float
+    source_breakdown: dict[AllocSource, float]
+    vmstat: CounterSet
+    manifest: dict | None = field(default=None, compare=False, repr=False)
+
+    def snapshot(self) -> dict:
+        """Same keys, same values, same order as
+        :meth:`FleetSample.snapshot`."""
+        snap = {
+            "n_servers": self.n_servers,
+            "n_failed_servers": self.n_failed_servers,
+            "fraction_without_any_2mb": self.fraction_without_any_2mb,
+            "median_unmovable_2mb": self.median_unmovable_2mb,
+            "uptime_correlation": self.uptime_correlation,
+        }
+        for src, frac in sorted(self.source_breakdown.items(),
+                                key=lambda kv: kv[0].name):
+            snap[f"unmovable_share.{src.name.lower()}"] = frac
+        return snap
+
+    def vmstat_totals(self) -> CounterSet:
+        """Merged vmstat counters (:class:`FleetSample` parity)."""
+        return self.vmstat
+
+
+class _StreamAggregator:
+    """Folds ``(index, scan)`` pairs into :class:`FleetSummary` parts.
+
+    Keeps four floats per completed server (uptime, free-2MiB count,
+    2 MiB contiguity, 2 MiB unmovable fraction) instead of the full
+    scan — a 1,000-server survey aggregates in a few tens of KiB.
+
+    Bit-identity with :class:`FleetSample`: the integer folds (counter
+    merges, source totals, zero-block counts) are order-independent,
+    but :func:`~repro.fleet.stats.pearson` sums floats in series order,
+    so the per-server rows are re-sorted by server index at
+    :meth:`finalize` — exactly the order :meth:`FleetSample.snapshot`
+    sees them in.
+    """
+
+    def __init__(self) -> None:
+        self.n_seen = 0
+        self.n_failed = 0
+        self._rows: list[tuple[int, float, float, float]] = []
+        self._source_totals: dict[AllocSource, int] = {}
+        self._vmstat = CounterSet()
+
+    def add(self, index: int, scan: ServerScan) -> None:
+        self.n_seen += 1
+        self._vmstat.merge(scan.vmstat)
+        for src, n in scan.sources.items():
+            self._source_totals[src] = self._source_totals.get(src, 0) + n
+        if scan.failed:
+            self.n_failed += 1
+            return
+        self._rows.append((index, float(scan.uptime_steps),
+                           float(scan.free_2m_blocks),
+                           scan.contiguity["2MB"],
+                           scan.unmovable["2MB"]))
+
+    def finalize(self) -> FleetSummary:
+        rows = sorted(self._rows)
+        live = len(rows)
+        zeroes = sum(1 for r in rows if r[3] == 0.0)
+        grand = sum(self._source_totals.values())
+        return FleetSummary(
+            n_servers=self.n_seen,
+            n_failed_servers=self.n_failed,
+            fraction_without_any_2mb=zeroes / live if live else 0.0,
+            median_unmovable_2mb=(median([r[4] for r in rows])
+                                  if live else 0.0),
+            uptime_correlation=(pearson([r[1] for r in rows],
+                                        [r[2] for r in rows])
+                                if live > 1 else 0.0),
+            source_breakdown=({src: n / grand for src, n
+                               in self._source_totals.items()}
+                              if grand else {}),
+            vmstat=self._vmstat,
+        )
+
+
+def survey_fleet(config: FleetConfig) -> FleetSummary:
+    """Run a fleet campaign in constant memory, streaming scans into
+    aggregates as they complete.
+
+    The 1,000-server entry point: where :func:`run_fleet` holds every
+    :class:`~repro.fleet.server.ServerScan` until the campaign ends,
+    this consumes :func:`repro.fleet.engine.iter_fleet_scans` and folds
+    each scan into a :class:`FleetSummary` immediately, so peak memory
+    is independent of ``n_servers``.  Supervision (retries, stragglers,
+    fault plans), telemetry, and the manifest's deterministic view are
+    identical to :func:`run_fleet` for the same config — only the
+    per-scan list is absent.
+    """
+    if not isinstance(config, FleetConfig):
+        raise ConfigurationError(
+            f"survey_fleet takes a FleetConfig, got {type(config).__name__}")
+
+    def _stream() -> _StreamAggregator:
+        agg = _StreamAggregator()
+        for index, scan in iter_fleet_scans(
+                config.n_servers, config=config.server,
+                base_seed=config.base_seed, workers=config.workers,
+                chunk_size=config.chunk_size,
+                max_retries=config.max_retries,
+                server_timeout=config.server_timeout,
+                backoff_base=config.backoff_base):
+            agg.add(index, scan)
+        return agg
+
+    telemetry = config.telemetry
+    tcfg = telemetry or _DEFAULT_TELEMETRY
+    sink = None
+    if tcfg.trace:
+        sink = (JsonlSink(tcfg.events_path) if tcfg.events_path
+                else RingBufferSink(tcfg.ring_capacity))
+        with tracing(*tcfg.trace_patterns, sink=sink):
+            agg = _stream()
+        if isinstance(sink, JsonlSink):
+            sink.close()
+    else:
+        agg = _stream()
+
+    summary = agg.finalize()
+    if telemetry is not None and tcfg.emit_manifest:
+        manifest = build_manifest(
+            kind="fleet",
+            config=_manifest_config(config.n_servers, config.server,
+                                    config.base_seed),
+            seed=config.base_seed,
+            counters=summary.vmstat_totals(),
+            aggregates=summary.snapshot(),
+            volatile={
+                "workers": resolve_workers(config.workers),
+                "trace_events": (sink.written if isinstance(sink, JsonlSink)
+                                 else sink.appended if sink else 0),
+            },
+        )
+        summary.manifest = manifest
+        if tcfg.manifest_path:
+            write_manifest(tcfg.manifest_path, manifest)
+    return summary
 
 
 def sample_fleet(n_servers: int = 50,

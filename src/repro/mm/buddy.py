@@ -46,6 +46,8 @@ _tp_steal = tracepoint("mm.buddy.steal")
 # then the OOM fallback) — see docs/ROBUSTNESS.md.
 _fs_watermark = fault_site("mm.buddy.watermark")
 
+_EMPTY_PFNS = np.empty(0, dtype=np.int64)
+
 
 class BuddyAllocator:
     """Binary buddy allocator over ``[start_block, end_block)`` pageblocks.
@@ -89,8 +91,14 @@ class BuddyAllocator:
         self.prefer = prefer
         self.label = label
 
+        # One intrusive list per (order, migratetype), all threaded
+        # through the shared per-frame link arrays on ``mem.freelists``
+        # (sibling allocators over the same memory share the store; list
+        # ids keep their memberships disjoint).
+        store = mem.freelists
         self.free_lists: list[dict[MigrateType, FreeList]] = [
-            {mt: FreeList() for mt in MigrateType} for _ in range(MAX_ORDER + 1)
+            {mt: store.new_list() for mt in MigrateType}
+            for _ in range(MAX_ORDER + 1)
         ]
         #: Per-migratetype occupancy bitmaps: bit *o* of ``_occ[int(mt)]``
         #: is set when ``free_lists[o][mt]`` *may* be non-empty.  The
@@ -261,6 +269,169 @@ class BuddyAllocator:
             pfn = min(pfn, buddy)
             order += 1
         self._insert_free(pfn, order, self.pageblocks.get_int(pfn))
+
+    # ------------------------------------------------------------------
+    # Bulk order-0 paths (cache warming, PCP refill, churn benchmarks)
+    # ------------------------------------------------------------------
+
+    def take_free_bulk(self, count: int, migratetype: MigrateType) -> np.ndarray:
+        """Pop up to *count* order-0 frames from *migratetype*'s lists
+        without marking them allocated; returns the popped head PFNs.
+
+        Fast-path only: no fallback stealing and no watermark fault —
+        the caller handles any shortfall through the scalar path (which
+        preserves the fault-injection and fallback semantics).  For a
+        ``"lifo"`` allocator the returned PFN sequence is exactly what
+        the same number of scalar pops would produce: the order-0 list
+        is drained most-recent-first, and when it runs dry the lowest
+        non-empty order is split — a freshly split block is consumed
+        top-down in full before any other block is touched, which is
+        precisely the scalar cascade (each split re-inserts its low
+        half, and LIFO pops always follow the newest insert).  Partial
+        blocks are never consumed: the bulk path stops at a whole-block
+        boundary so the allocator state matches the scalar state at the
+        same allocation count.  Other directions fall back to scalar
+        pops internally (identical sequence, less speedup).
+        """
+        if count <= 0 or _fs_watermark.armed:
+            return _EMPTY_PFNS
+        imt = int(migratetype)
+        if self.prefer != "lifo":
+            out = []
+            while len(out) < count:
+                pfn = self._rmqueue(0, migratetype, self.prefer)
+                if pfn is None:
+                    break
+                out.append(pfn)
+            return np.asarray(out, dtype=np.int64) if out else _EMPTY_PFNS
+        occ = self._occ
+        lists0 = self.free_lists[0]
+        free_order = self.mem.free_order
+        chunks: list[np.ndarray] = []
+        got = 0
+        while got < count:
+            flist = lists0[imt]
+            if flist:
+                batch = flist.pop_many_lifo(count - got)
+                free_order[batch] = -1
+                self.nr_free -= batch.size
+                got += batch.size
+                chunks.append(batch)
+                if not flist:
+                    occ[imt] &= ~1
+                continue
+            occ[imt] &= ~1
+            # Lowest non-empty higher order — the scalar bit-scan.
+            bits = occ[imt] >> 1 << 1
+            o = -1
+            while bits:
+                cand = (bits & -bits).bit_length() - 1
+                bits &= bits - 1
+                fl2 = self.free_lists[cand][imt]
+                if fl2:
+                    o = cand
+                    break
+                occ[imt] &= ~(1 << cand)
+            if o < 0:
+                break
+            size = 1 << o
+            if size > count - got:
+                break  # leave partial blocks to the scalar path
+            fl2 = self.free_lists[o][imt]
+            pfn = fl2.pop_lifo()
+            if not fl2:
+                occ[imt] &= ~(1 << o)
+            self.mem.free_order_mv[pfn] = -1
+            self.nr_free -= size
+            chunks.append(
+                np.arange(pfn + size - 1, pfn - 1, -1, dtype=np.int64))
+            got += size
+        if not chunks:
+            return _EMPTY_PFNS
+        return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+
+    def alloc_bulk(
+        self,
+        count: int,
+        migratetype: MigrateType,
+        source: AllocSource = AllocSource.USER,
+        now: int = 0,
+        pinned: bool = False,
+    ) -> np.ndarray:
+        """Allocate up to *count* order-0 frames in one vectorised pass.
+
+        Equivalent to repeated ``alloc(0, ...)`` calls — same PFNs, same
+        order, same counters — but the frame marks are fancy-index
+        writes instead of per-frame Python work.  May return fewer than
+        *count* PFNs (see :meth:`take_free_bulk` for the fast-path-only
+        contract); the caller completes the remainder through the scalar
+        path, which keeps fallback stealing, watermark faults, and the
+        kernel slow path bit-identical to a fully scalar run.
+        """
+        pfns = self.take_free_bulk(count, migratetype)
+        if pfns.size == 0:
+            return pfns
+        self.mem.mark_allocated_bulk(
+            pfns, migratetype, source, now, pinned)
+        self.stat.inc(ev.ALLOC_SUCCESS, pfns.size)
+        if _tp_alloc.enabled:
+            for p in pfns.tolist():
+                _tp_alloc.emit(ts=now, pfn=p, order=0,
+                               mt=int(migratetype), source=int(source),
+                               label=self.label)
+        return pfns
+
+    def free_bulk(self, pfns) -> None:
+        """Free order-0 allocations headed at *pfns* in one pass.
+
+        Order-normalised variant of ``for p in pfns: self.free(p)``: the
+        batch is sorted, split into maximal contiguous runs, and each
+        run is decomposed into its aligned power-of-two blocks — exactly
+        the fixed point the scalar merge cascade reaches for frames
+        whose buddies are also in the batch (buddy merging is confluent,
+        so the normal form does not depend on free order).  Decomposed
+        blocks whose outside buddy is free at the same order continue
+        through the scalar cascade; the rest are inserted directly.  The
+        final free-block set matches a scalar free loop; temporal list
+        order within the batch differs — callers that need bit-identical
+        trajectories with scalar frees keep using :meth:`free`.
+        """
+        arr = np.asarray(pfns, dtype=np.int64)
+        if arr.size == 0:
+            return
+        mem = self.mem
+        mem.mark_free_bulk(arr)
+        self.stat.inc(ev.PAGES_FREED, arr.size)
+        if _tp_free.enabled:
+            for p in arr.tolist():
+                _tp_free.emit(pfn=p, order=0, label=self.label)
+        srt = np.sort(arr) if arr.size > 1 else arr
+        gaps = np.diff(srt)
+        if gaps.size and not gaps.all():
+            raise ConfigurationError("free_bulk: duplicate pfn in batch")
+        run_starts = np.concatenate(
+            ([0], np.flatnonzero(gaps != 1) + 1, [srt.size]))
+        free_order_mv = mem.free_order_mv
+        start_pfn, end_pfn = self.start_pfn, self.end_pfn
+        for i in range(run_starts.size - 1):
+            s = int(srt[run_starts[i]])
+            n = int(run_starts[i + 1] - run_starts[i])
+            while n:
+                # Largest aligned block at s that fits in the run.
+                k = (s & -s).bit_length() - 1 if s else MAX_ORDER
+                if k > MAX_ORDER:
+                    k = MAX_ORDER
+                while (1 << k) > n:
+                    k -= 1
+                buddy = s ^ (1 << k)
+                if (k < MAX_ORDER and start_pfn <= buddy < end_pfn
+                        and free_order_mv[buddy] == k):
+                    # Cascade continues outside the batch.
+                    self.free_block(s, k)
+                else:
+                    self._insert_free(s, k, self.pageblocks.get_int(s))
+                s += 1 << k
+                n -= 1 << k
 
     # ------------------------------------------------------------------
     # Targeted free-block capture (compaction / contig ranges / resizing)

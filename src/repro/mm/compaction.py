@@ -105,12 +105,23 @@ class Compactor:
         # stops when it reaches it (the two scanners "meet", as in Linux).
         free_scan_floor = allocator.end_block
 
+        # Blocks with no allocated heads at all can be skipped without a
+        # per-block scan.  The precompute stays valid for every block the
+        # migration scanner has yet to reach: migrations only ever move
+        # heads *into* blocks at or above ``free_scan_floor``, which the
+        # scanner stops short of, and frees only clear heads in blocks
+        # already scanned.
+        occupied = (mem.alloc_order[allocator.start_pfn:allocator.end_pfn]
+                    >= 0).reshape(-1, 1 << MAX_ORDER).any(axis=1)
+
         for block in range(allocator.start_block, allocator.end_block):
             if block >= free_scan_floor:
                 break
             if allocator.largest_free_order() >= target_order:
                 break
             result.blocks_scanned += 1
+            if not occupied[block - allocator.start_block]:
+                continue
             start = block * (1 << MAX_ORDER)
             end = start + (1 << MAX_ORDER)
             heads = (np.flatnonzero(mem.alloc_order[start:end] >= 0)
@@ -163,20 +174,19 @@ class Compactor:
         self, allocator: BuddyAllocator, order: int, above_pfn: int,
     ) -> int | None:
         """Capture a free sub-block of exactly *order* whose head PFN is the
-        highest available strictly above *above_pfn* (the free scanner)."""
-        best_pfn = -1
-        best_order = -1
-        for o in range(order, MAX_ORDER + 1):
-            for flist in allocator.free_lists[o].values():
-                if not flist:
-                    continue
-                try:
-                    head = flist.peek_highest()
-                except KeyError:
-                    continue
-                if head > above_pfn and head > best_pfn:
-                    best_pfn, best_order = head, o
-        if best_pfn < 0:
+        highest available strictly above *above_pfn* (the free scanner).
+
+        Single vectorised pass over the packed ``free_order`` array in
+        place of peeking every (order, migratetype) list: the winner is
+        the highest head at *any* qualifying order, which is exactly
+        what the per-list peeks computed.
+        """
+        lo = max(above_pfn + 1, allocator.start_pfn)
+        hi = allocator.end_pfn
+        if lo >= hi:
+            return None
+        cand = np.flatnonzero(allocator.mem.free_order[lo:hi] >= order)
+        if cand.size == 0:
             return None
         # Capture and split; the remainder returns to the free lists.
-        return allocator.take_free_split(best_pfn, order)
+        return allocator.take_free_split(int(cand[-1]) + lo, order)

@@ -130,25 +130,26 @@ class RangeEvacuator:
         Free blocks never straddle a pageblock boundary (MAX_ORDER is one
         pageblock), so a head outside a pageblock-aligned range means the
         whole block is outside.
+
+        One vectorised pass over the packed ``free_order`` array per
+        candidate order: among *all* heads at the lowest qualifying
+        order, the one farthest from the range wins, so evacuations do
+        not immediately refill nearby blocks.  (The pre-vectorised scan
+        only examined the two address extremes of each migratetype's
+        list; considering every head strictly improves the
+        farthest-first policy.)
         """
-        best = None
+        lo, hi = allocator.start_pfn, allocator.end_pfn
+        fo = allocator.mem.free_order[lo:hi]
         for o in range(order, MAX_ORDER + 1):
-            for flist in allocator.free_lists[o].values():
-                if not flist:
-                    continue
-                for peek in (flist.peek_highest, flist.peek_lowest):
-                    try:
-                        head = peek()
-                    except KeyError:
-                        continue
-                    if head < start_pfn or head >= end_pfn:
-                        # Prefer the farthest candidate from the range so
-                        # evacuations do not immediately refill nearby blocks.
-                        dist = min(abs(head - start_pfn), abs(head - end_pfn))
-                        if best is None or dist > best[0]:
-                            best = (dist, head)
-            if best is not None:
-                break
-        if best is None:
-            return None
-        return allocator.take_free_split(best[1], order)
+            heads = np.flatnonzero(fo == o) + lo
+            if heads.size == 0:
+                continue
+            outside = heads[(heads < start_pfn) | (heads >= end_pfn)]
+            if outside.size == 0:
+                continue
+            dist = np.minimum(np.abs(outside - start_pfn),
+                              np.abs(outside - end_pfn))
+            return allocator.take_free_split(
+                int(outside[np.argmax(dist)]), order)
+        return None

@@ -252,6 +252,51 @@ class LinuxKernel:
             self.reclaim_lru.register(handle)
         return handle
 
+    def alloc_pages_bulk(
+        self,
+        count: int,
+        source: AllocSource = AllocSource.USER,
+        migratetype: MigrateType | None = None,
+        reclaimable: bool = False,
+    ) -> list[PageHandle]:
+        """Fast-path-only bulk order-0 allocation (``alloc_pages_bulk``).
+
+        Returns up to *count* handles — possibly none.  The fast path
+        never enters reclaim/compaction, never fires watermark faults,
+        and steps aside entirely when PCP is routing order-0 traffic;
+        the PFN sequence it does return is exactly what the same number
+        of scalar :meth:`alloc_pages` calls would have produced, so
+        callers complete any shortfall through the scalar API with
+        unchanged slow-path and OOM semantics.
+        """
+        mt = migratetype if migratetype is not None else (
+            DEFAULT_MIGRATETYPE[source])
+        allocator = self.allocator_for_request(mt, source, False)
+        return self._finish_bulk(allocator, mt, count, source, reclaimable)
+
+    def _finish_bulk(
+        self,
+        allocator: BuddyAllocator,
+        mt: MigrateType,
+        count: int,
+        source: AllocSource,
+        reclaimable: bool,
+    ) -> list[PageHandle]:
+        if count <= 0 or self._pcp.get(allocator.label) is not None:
+            return []
+        pfns = allocator.alloc_bulk(count, mt, source, self.now)
+        out = []
+        for pfn in pfns.tolist():
+            # The handles ARE the product here — this loop is the API
+            # boundary, not allocator bookkeeping.
+            handle = PageHandle(pfn, 0, mt, source, self.now,  # simlint: disable=SL009
+                                False, reclaimable=reclaimable)
+            self.handles.register(handle)
+            if reclaimable:
+                self.reclaim_lru.register(handle)
+            out.append(handle)
+        return out
+
     def _slow_path(
         self,
         allocator: BuddyAllocator,

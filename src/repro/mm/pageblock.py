@@ -54,9 +54,24 @@ class PageblockTable:
         """Number of pageblocks currently tagged *mt*."""
         return int(np.count_nonzero(self.types == int(mt)))
 
+    def counts(self) -> dict[MigrateType, int]:
+        """Pageblock count per migrate type, one vectorised bincount."""
+        c = np.bincount(self.types, minlength=len(MigrateType))
+        return {mt: int(c[int(mt)]) for mt in MigrateType}
+
     def blocks_of(self, mt: MigrateType) -> np.ndarray:
         """Indices of pageblocks tagged *mt*."""
         return np.flatnonzero(self.types == int(mt))
+
+    def occupancy(self) -> np.ndarray:
+        """Allocated frames per pageblock, one vectorised pass."""
+        return (self.mem.allocated_mask()
+                .reshape(self.mem.npageblocks, PAGEBLOCK_FRAMES)
+                .sum(axis=1, dtype=np.int64))
+
+    def empty_blocks(self) -> np.ndarray:
+        """Indices of pageblocks with zero allocated frames."""
+        return np.flatnonzero(self.occupancy() == 0)
 
     def block_range(self, block: int) -> tuple[int, int]:
         """Frame range ``[start, end)`` of pageblock index *block*."""

@@ -97,10 +97,20 @@ class PerCpuPages:
             self._spill(cpu, mt)
 
     def _refill(self, cpu: int, mt: MigrateType) -> bool:
-        """Pull a batch of order-0 pages from the buddy (rmqueue_bulk)."""
+        """Pull a batch of order-0 pages from the buddy (rmqueue_bulk).
+
+        The fast path drains through :meth:`BuddyAllocator.take_free_bulk`
+        — for a LIFO allocator the popped PFN sequence is bit-identical
+        to the scalar loop's — and the scalar loop finishes the tail
+        (partial blocks, fallback stealing, watermark faults), so the
+        cache fill matches a fully scalar refill frame for frame.
+        """
         lst = self._lists[cpu][mt]
-        got = 0
-        for _ in range(self.batch):
+        bulk = self.buddy.take_free_bulk(self.batch, mt)
+        if bulk.size:
+            lst.extend(bulk.tolist())
+        got = int(bulk.size)
+        while got < self.batch:
             pfn = self.buddy.take_free(0, mt)
             if pfn is None and self.buddy.fallback_enabled:
                 # One fallback attempt per page, like __rmqueue.

@@ -19,6 +19,7 @@ from ..errors import (
     SimInvariantError,
 )
 from ..units import FRAME_SIZE, PAGEBLOCK_FRAMES, bytes_to_frames
+from .freelist import FreelistStore
 from .page import AllocationInfo, AllocSource, MigrateType, PageFlag
 
 _F_ALLOCATED = 1 << PageFlag.ALLOCATED
@@ -85,6 +86,13 @@ class PhysicalMemory:
         self.alloc_order_mv = memoryview(self.alloc_order)
         self.head_of_mv = memoryview(self.head_of)
         self.birth_mv = memoryview(self.birth)
+
+        #: Shared intrusive free-list links (one ``next``/``prev``/
+        #: ``list_id`` column per frame); every buddy allocator over this
+        #: memory threads its :class:`~repro.mm.freelist.FreeList`s
+        #: through these arrays, mirroring how Linux threads free lists
+        #: through ``struct page``.
+        self.freelists = FreelistStore(nframes)
 
         #: Live allocation heads, maintained for iteration by analyses.
         self.alloc_heads: set[int] = set()
@@ -160,6 +168,57 @@ class PhysicalMemory:
         self.alloc_heads.add(pfn)
         if self.sanitizer is not None:
             self.sanitizer.note_alloc(pfn, order, birth)
+
+    def mark_allocated_bulk(
+        self,
+        pfns: np.ndarray,
+        migratetype: MigrateType,
+        source: AllocSource,
+        birth: int,
+        pinned: bool = False,
+    ) -> None:
+        """Vectorised form of order-0 :meth:`mark_allocated` over a
+        batch of head PFNs (unique, all currently free): the per-frame
+        columns are written with fancy-index stores instead of one
+        Python call per frame.  Raises the same typed error as the
+        scalar path on the first already-live frame."""
+        flags = self.flags
+        if flags[pfns].any():
+            bad = int(pfns[np.flatnonzero(flags[pfns])[0]])
+            self._raise_double_alloc(bad, 0)
+        flags[pfns] = _F_ALLOCATED | _F_HEAD | (_F_PINNED if pinned else 0)
+        self.migratetype[pfns] = int(migratetype)
+        self.source[pfns] = int(source)
+        self.head_of[pfns] = pfns
+        self.alloc_order[pfns] = 0
+        self.birth[pfns] = birth
+        self.alloc_heads.update(pfns.tolist())
+        if self.sanitizer is not None:
+            note = self.sanitizer.note_alloc
+            for p in pfns.tolist():
+                note(p, 0, birth)
+
+    def mark_free_bulk(self, pfns: np.ndarray) -> None:
+        """Vectorised form of :meth:`mark_free` over a batch of order-0
+        allocation heads.  Restricted to order 0 (the bulk-free fast
+        path); a non-head frame raises the same typed error as the
+        scalar path, a higher-order head a ConfigurationError."""
+        ao = self.alloc_order
+        orders = ao[pfns]
+        if orders.any():
+            bad = int(pfns[np.flatnonzero(orders)[0]])
+            if ao[bad] < 0:
+                self._raise_bad_free(bad)
+            raise ConfigurationError(
+                f"mark_free_bulk handles order-0 heads only; pfn {bad} "
+                f"heads an order-{int(ao[bad])} allocation")
+        self.flags[pfns] = 0
+        ao[pfns] = -1
+        self.alloc_heads.difference_update(pfns.tolist())
+        if self.sanitizer is not None:
+            note = self.sanitizer.note_free
+            for p in pfns.tolist():
+                note(p, 0)
 
     def mark_free(self, pfn: int) -> int:
         """Clear a live allocation headed at *pfn*; returns its order."""

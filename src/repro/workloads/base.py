@@ -261,6 +261,29 @@ class Workload:
                 if len(self.cache_pages) >= want and (
                         full or not self.spec.cache_opportunistic):
                     break
+                # Pages until the scalar loop's next stop-condition
+                # boundary: below ``want`` the loop cannot break; at or
+                # above it (opportunistic, not yet full) it runs until
+                # free memory hits zero.  Batching up to that boundary
+                # through the fast-path-only bulk API allocates the
+                # exact PFN sequence of the scalar loop; any shortfall
+                # (partial block, PCP routing, armed watermark fault)
+                # falls through to one scalar allocation, which carries
+                # the slow-path/reclaim/OOM semantics unchanged.
+                if len(self.cache_pages) < want:
+                    room = want - len(self.cache_pages)
+                elif self.spec.cache_opportunistic and not full:
+                    room = self.kernel.free_frames()
+                else:
+                    room = 1
+                room = min(room, budget)
+                batch = (self.kernel.alloc_pages_bulk(room, reclaimable=True)
+                         if room > 1 else [])
+                if batch:
+                    self.cache_pages.extend(batch)
+                    self._cache_frames += len(batch)
+                    budget -= len(batch)
+                    continue
                 handle = self.kernel.alloc_pages(0, reclaimable=True)
                 self.cache_pages.append(handle)
                 self._cache_frames += handle.nframes

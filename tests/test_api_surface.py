@@ -57,11 +57,15 @@ class TestExportSnapshots:
             "FLEET_SERVICES",
             "FleetConfig",
             "FleetSample",
+            "FleetSummary",
             "ServerConfig",
             "ServerScan",
             "SimulatedServer",
             "WorkerOutcome",
             "cdf_at",
+            "check_survey_fit",
+            "estimate_survey_bytes",
+            "iter_fleet_scans",
             "median",
             "pearson",
             "percentile",
@@ -70,6 +74,7 @@ class TestExportSnapshots:
             "run_fleet",
             "run_fleet_scans",
             "sample_fleet",
+            "survey_fleet",
         ]
 
     def test_experiments_all(self):

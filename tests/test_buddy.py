@@ -200,3 +200,74 @@ def test_random_churn_preserves_invariants(seed):
     buddy.check_consistency()
     allocated = sum(1 << int(buddy.mem.alloc_order[p]) for p in live)
     assert buddy.nr_free == buddy.nr_frames - allocated
+
+
+# ---------------------------------------------------------------------------
+# Bulk APIs: alloc_bulk / free_bulk vs the scalar paths
+# ---------------------------------------------------------------------------
+
+
+def test_alloc_bulk_matches_scalar_sequence():
+    """LIFO fast path: alloc_bulk pops the exact PFN sequence the scalar
+    order-0 loop would have."""
+    a = make_buddy(mem_mib=4)
+    b = make_buddy(mem_mib=4)
+    bulk = a.alloc_bulk(300, MigrateType.MOVABLE).tolist()
+    scalar = [b.alloc(0, MigrateType.MOVABLE) for _ in range(300)]
+    assert bulk == scalar
+    a.check_consistency()
+
+
+def test_alloc_bulk_empty_and_overask():
+    buddy = make_buddy(mem_mib=4)
+    assert buddy.alloc_bulk(0, MigrateType.MOVABLE).size == 0
+    got = buddy.alloc_bulk(buddy.nr_frames + 5, MigrateType.MOVABLE)
+    # Fast-path-only contract: never more than asked, never more than free.
+    assert got.size <= buddy.nr_frames
+    buddy.check_consistency()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_free_bulk_bit_identical_to_scalar_frees(seed):
+    """Property: free_bulk reaches the same normal form as freeing the
+    same frames one at a time, whatever the batch's shape."""
+    import numpy as np
+
+    rng = random.Random(seed)
+    a = make_buddy(mem_mib=4)
+    b = make_buddy(mem_mib=4)
+    live_a, live_b = [], []
+    for _ in range(40):
+        n = rng.randrange(1, 64)
+        live_a.extend(a.alloc_bulk(n, MigrateType.MOVABLE).tolist())
+        live_b.extend(b.alloc_bulk(n, MigrateType.MOVABLE).tolist())
+    assert live_a == live_b
+    idx = list(range(len(live_a)))
+    rng.shuffle(idx)
+    batch = [live_a[i] for i in idx[: len(idx) // 2]]
+    a.free_bulk(batch)
+    for pfn in batch:
+        b.free(pfn)
+    assert np.array_equal(a.mem.free_order, b.mem.free_order)
+    assert np.array_equal(a.mem.free_mt, b.mem.free_mt)
+    assert a.nr_free == b.nr_free
+    a.check_consistency()
+    b.check_consistency()
+
+
+def test_free_bulk_rejects_duplicates():
+    from repro.errors import ConfigurationError
+
+    buddy = make_buddy(mem_mib=4)
+    pfns = buddy.alloc_bulk(8, MigrateType.MOVABLE).tolist()
+    with pytest.raises(ConfigurationError):
+        buddy.free_bulk([pfns[0], pfns[0]])
+
+
+def test_free_bulk_whole_batch_restores_everything():
+    buddy = make_buddy(mem_mib=4)
+    pfns = buddy.alloc_bulk(512, MigrateType.MOVABLE)
+    buddy.free_bulk(pfns)
+    assert buddy.nr_free == buddy.nr_frames
+    buddy.check_consistency()

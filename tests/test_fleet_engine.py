@@ -10,15 +10,29 @@ from repro.fleet import (
     FleetConfig,
     FleetSample,
     ServerConfig,
+    check_survey_fit,
+    estimate_survey_bytes,
+    iter_fleet_scans,
     resolve_workers,
     run_fleet,
     run_fleet_scans,
+    survey_fleet,
 )
-from repro.fleet.engine import WORKERS_ENV, WorkerOutcome, _scan_payload
+from repro.fleet.engine import (
+    WORKERS_ENV,
+    WorkerOutcome,
+    _resolve_chunk,
+    _scan_payload,
+)
 from repro.units import MiB
 
 SMALL = ServerConfig(mem_bytes=MiB(64), min_uptime_steps=20,
                      max_uptime_steps=60)
+
+#: Fast variant for the wider fleets (64 servers) in the manifest
+#: bit-identity tests.
+TINY = ServerConfig(mem_bytes=MiB(64), min_uptime_steps=5,
+                    max_uptime_steps=15)
 
 
 class TestWorkerResolution:
@@ -154,6 +168,117 @@ class TestSupervision:
         scans = run_fleet_scans(2, config=SMALL, base_seed=1, workers=2,
                           chunk_size=1)
         assert scans == run_fleet_scans(2, config=SMALL, base_seed=1, workers=1)
+
+    def test_chunked_run_bit_identical(self):
+        """Multi-server chunks change only the IPC batching, never the
+        scans: a chunked parallel run equals the serial loop."""
+        serial = run_fleet_scans(6, config=TINY, base_seed=11, workers=1)
+        chunked = run_fleet_scans(6, config=TINY, base_seed=11, workers=2,
+                                  chunk_size=3)
+        assert chunked == serial
+
+    def test_chunked_run_survives_crash_faults(self):
+        """Retries travel as singletons even when the first attempt was
+        chunked, so crash-then-retry stays bit-identical to clean."""
+        clean = run_fleet_scans(6, config=TINY, base_seed=7, workers=1)
+        cfg = dataclasses.replace(TINY, fault_plan=CRASH_ONCE)
+        chaotic = run_fleet_scans(6, config=cfg, base_seed=7, workers=2,
+                                  chunk_size=4, backoff_base=0.0)
+        assert chaotic == clean
+        assert not any(s.failed for s in chaotic)
+
+
+class TestChunkResolution:
+    def test_timeout_forces_singletons(self):
+        assert _resolve_chunk(8, 100, 4, server_timeout=1.0) == 1
+
+    def test_explicit_validated(self):
+        assert _resolve_chunk(8, 100, 4, server_timeout=None) == 8
+        with pytest.raises(ConfigurationError):
+            _resolve_chunk(0, 100, 4, server_timeout=None)
+
+    def test_auto_at_least_one(self):
+        assert _resolve_chunk(None, 2, 4, server_timeout=None) >= 1
+
+    def test_config_rejects_bad_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(chunk_size=0)
+
+
+class TestStreaming:
+    def test_iter_yields_every_index_once(self):
+        seen = dict(iter_fleet_scans(5, config=TINY, base_seed=2,
+                                     workers=1))
+        assert sorted(seen) == [0, 1, 2, 3, 4]
+        assert seen == dict(enumerate(
+            run_fleet_scans(5, config=TINY, base_seed=2, workers=1)))
+
+    def test_survey_matches_run_fleet_snapshot(self):
+        cfg = FleetConfig(n_servers=8, server=TINY, base_seed=5, workers=1)
+        sample = run_fleet(cfg)
+        summary = survey_fleet(cfg)
+        assert summary.snapshot() == sample.snapshot()
+        assert (summary.vmstat_totals().snapshot()
+                == sample.vmstat_totals().snapshot())
+
+    def test_survey_parallel_chunked_identical(self):
+        cfg = FleetConfig(n_servers=8, server=TINY, base_seed=5, workers=1)
+        par = dataclasses.replace(cfg, workers=2, chunk_size=3)
+        assert survey_fleet(par).snapshot() == survey_fleet(cfg).snapshot()
+
+    def test_survey_aggregates_degraded_servers(self):
+        cfg = FleetConfig(
+            n_servers=3, workers=1, max_retries=0, backoff_base=0.0,
+            server=dataclasses.replace(TINY, fault_plan=CRASH_ALWAYS))
+        summary = survey_fleet(cfg)
+        assert summary.n_servers == 3
+        assert summary.n_failed_servers == 3
+        assert summary.snapshot() == run_fleet(cfg).snapshot()
+
+
+class TestManifestBitIdentity:
+    def test_64_server_manifest_identical_workers_1_vs_8(self):
+        """Satellite: the manifest's deterministic view from a 64-server
+        campaign is byte-identical for workers=1 and workers=8."""
+        import json
+
+        from repro.telemetry import TelemetryConfig, deterministic_view
+
+        cfg = FleetConfig(n_servers=64, server=TINY, base_seed=42,
+                          workers=1, telemetry=TelemetryConfig())
+        m1 = run_fleet(cfg).manifest
+        m8 = run_fleet(dataclasses.replace(cfg, workers=8)).manifest
+        assert (json.dumps(deterministic_view(m1), sort_keys=True)
+                == json.dumps(deterministic_view(m8), sort_keys=True))
+
+    def test_survey_manifest_matches_run_fleet(self):
+        from repro.telemetry import TelemetryConfig, deterministic_view
+
+        cfg = FleetConfig(n_servers=8, server=TINY, base_seed=6,
+                          workers=1, telemetry=TelemetryConfig())
+        assert (deterministic_view(survey_fleet(cfg).manifest)
+                == deterministic_view(run_fleet(cfg).manifest))
+
+
+class TestSurveyFit:
+    def test_small_survey_fits(self):
+        need = check_survey_fit(4, MiB(64), workers=1,
+                                available_bytes=1 << 30)
+        assert 0 < need < (1 << 30)
+
+    def test_oversized_survey_rejected_with_typed_error(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            check_survey_fit(10**6, MiB(512), workers=4,
+                             available_bytes=1 << 30)
+
+    def test_estimate_scales_with_workers_not_servers(self):
+        one = estimate_survey_bytes(1000, MiB(64), workers=1)
+        four = estimate_survey_bytes(1000, MiB(64), workers=4)
+        huge = estimate_survey_bytes(2000, MiB(64), workers=1)
+        assert four > one
+        # Doubling the fleet only adds per-scan slack, not per-server
+        # simulator footprint.
+        assert huge - one < estimate_survey_bytes(1, MiB(64), workers=1)
 
 
 class TestEmptyFleetAggregates:

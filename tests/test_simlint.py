@@ -331,6 +331,61 @@ class TestBoundedRetrySL008:
         assert "SL008" not in rules_of(src)
 
 
+class TestPerFrameObjectSL009:
+    def test_flags_handle_construction_in_pfn_loop(self):
+        src = """
+            def handles(pfns, mt, src, now):
+                out = []
+                for pfn in pfns:
+                    out.append(PageHandle(pfn, 0, mt, src, now, False))
+                return out
+        """
+        found = findings_for(src, MM_PATH)
+        assert [f.rule for f in found] == ["SL009"]
+        assert "PageHandle" in found[0].message
+
+    def test_flags_enum_construction_in_comprehension(self):
+        src = """
+            def types(mem, heads):
+                return [MigrateType(mem.free_mt[head]) for head in heads]
+        """
+        assert "SL009" in rules_of(src, MM_PATH)
+
+    def test_packed_array_reads_clean(self):
+        src = """
+            def orders(mem, pfns):
+                out = []
+                for pfn in pfns:
+                    out.append(mem.free_order_mv[pfn])
+                return out
+        """
+        assert "SL009" not in rules_of(src, MM_PATH)
+
+    def test_non_frame_loop_clean(self):
+        src = """
+            def build(rows):
+                return [PageHandle(*row) for row in rows]
+        """
+        assert "SL009" not in rules_of(src, MM_PATH)
+
+    def test_outside_mm_clean(self):
+        src = """
+            def handles(pfns):
+                return [PageHandle(pfn) for pfn in pfns]
+        """
+        assert "SL009" not in rules_of(src, FLEET_PATH)
+
+    def test_disable_comment_honoured(self):
+        src = """
+            def handles(pfns):
+                return [
+                    PageHandle(pfn)  # simlint: disable=SL009
+                    for pfn in pfns
+                ]
+        """
+        assert "SL009" not in rules_of(src, MM_PATH)
+
+
 class TestSuppression:
     VIOLATION = """
         def merge(order):
