@@ -12,7 +12,8 @@ import dataclasses
 
 from repro.analysis import format_table, percent, unmovable_block_fraction
 from repro.units import MiB, PAGEBLOCK_FRAMES
-from repro.workloads import CACHE_B, Workload
+from repro.workloads import Workload
+from repro.workloads.services import CACHE_B
 
 from common import make_contiguitas, make_linux, save_result
 

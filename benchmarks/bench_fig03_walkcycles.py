@@ -9,7 +9,8 @@ import pytest
 
 from repro.analysis import format_table
 from repro.perfmodel import MIX_1G, MIX_2M, MIX_4K, walk_cycles
-from repro.workloads import WALK_CHARACTERISATION, WEB
+from repro.workloads import WALK_CHARACTERISATION
+from repro.workloads.services import WEB
 
 from common import save_result
 

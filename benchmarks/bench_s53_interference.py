@@ -12,7 +12,6 @@ from repro.analysis import format_table
 from repro.core.hwext import AccessMode
 from repro.perfmodel import evaluate_configuration
 from repro.workloads import (
-    CACHE_B,
     MEMCACHED,
     NGINX,
     REGULAR_RATE,
@@ -20,6 +19,7 @@ from repro.workloads import (
     interference_overhead,
     relative_throughput_simulated,
 )
+from repro.workloads.services import CACHE_B
 
 from common import save_result
 

@@ -23,14 +23,8 @@ from repro.experiments import get_spec, run_experiment
 from repro.fleet import FleetSample
 from repro.mm import KernelConfig, LinuxKernel
 from repro.units import MiB
-from repro.workloads import (
-    CACHE_A,
-    CACHE_B,
-    CI,
-    WEB,
-    Workload,
-    WorkloadSpec,
-)
+from repro.workloads import Workload, WorkloadSpec
+from repro.workloads.services import CACHE_A, CACHE_B, CI, WEB
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 

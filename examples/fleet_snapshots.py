@@ -28,7 +28,7 @@ from repro.analysis import (
 from repro.fleet import ServerConfig, SimulatedServer
 from repro.mm import KernelConfig, LinuxKernel
 from repro.units import MiB
-from repro.workloads import BY_NAME, Workload
+from repro.workloads import Workload, get_service
 
 
 def scan_host(seed: int, out_dir: str) -> str:
@@ -36,7 +36,7 @@ def scan_host(seed: int, out_dir: str) -> str:
     import random
 
     rng = random.Random(seed)
-    spec = BY_NAME[rng.choice(["Web", "CacheA", "CacheB", "CI"])]
+    spec = get_service(rng.choice(["web", "cache-a", "cache-b", "ci"]))
     kernel = LinuxKernel(KernelConfig(mem_bytes=MiB(256)))
     workload = Workload(kernel, spec, seed=seed)
     workload.start()

@@ -19,10 +19,10 @@ from repro.mm import KernelConfig, LinuxKernel
 from repro.perfmodel import evaluate_configuration
 from repro.units import MiB
 from repro.workloads import (
-    BY_NAME,
     Workload,
     fragment_fully,
     fragment_partially,
+    get_service,
 )
 
 STEPS = 120
@@ -41,8 +41,8 @@ def deploy(spec, kernel, fragmentation: str):
 
 
 def main() -> None:
-    name = sys.argv[1] if len(sys.argv) > 1 else "CacheB"
-    spec = BY_NAME[name]
+    name = sys.argv[1] if len(sys.argv) > 1 else "cache-b"
+    spec = get_service(name)  # unknown names list what is available
     mem = MiB(2304) if spec.wants_1g else MiB(256)
     print(f"A/B testing {name} on {mem // (1 << 20)} MiB machines "
           f"({STEPS} churn steps each)...")

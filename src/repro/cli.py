@@ -11,6 +11,7 @@ Examples::
     python -m repro chaos --plan ci-smoke --servers 6 \\
         --manifest chaos.json             # fleet under injected faults
     python -m repro chaos --list-plans    # named fault plans
+    python -m repro loadgen --trace-shape azure-faas --design cacheable
     python -m repro trace --match 'mm.buddy.*' --limit 20
     python -m repro trace --input ev.jsonl --match 'mm.compact.*'
     python -m repro metrics run.json      # pretty-print one manifest
@@ -70,9 +71,9 @@ def _cmd_fig13(args) -> None:
 
 def _cmd_walk(args) -> None:
     from .perfmodel import MIX_1G, MIX_2M, MIX_4K, walk_cycles
-    from .workloads import BY_NAME
+    from .workloads import get_service
 
-    spec = BY_NAME[args.service]
+    spec = get_service(args.service)
     rows = []
     for label, mix in (("4KB", MIX_4K), ("2MB", MIX_2M), ("1GB", MIX_1G)):
         r = walk_cycles(spec, mix, n_instructions=args.instructions)
@@ -86,9 +87,9 @@ def _cmd_walk(args) -> None:
 def _cmd_steady(args) -> None:
     from .core import ContiguitasConfig, ContiguitasKernel
     from .mm import KernelConfig, LinuxKernel
-    from .workloads import BY_NAME, Workload
+    from .workloads import Workload, get_service
 
-    spec = BY_NAME[args.service]
+    spec = get_service(args.service)
     mem = MiB(args.mem_mib)
     kernel = (LinuxKernel(KernelConfig(mem_bytes=mem))
               if args.kernel == "linux"
@@ -192,6 +193,58 @@ def _cmd_fleet(args) -> None:
         print(f"run manifest written to {args.manifest}")
 
 
+def _cmd_loadgen(args) -> None:
+    from .workloads.tracegen import LoadgenConfig, run_loadgen
+
+    telemetry = None
+    if args.manifest:
+        from .telemetry import TelemetryConfig
+
+        telemetry = TelemetryConfig(manifest_path=args.manifest)
+    config = LoadgenConfig(
+        shape=args.trace_shape,
+        rate_rps=args.rate,
+        duration_s=args.duration,
+        app=args.app,
+        design=args.design,
+        migrations_per_second=args.migrations,
+        buffer_pages=args.buffer_pages,
+        seed=args.seed,
+        telemetry=telemetry,
+    )
+    result = run_loadgen(config)
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "config": config.snapshot(),
+            "requests": result.requests,
+            "windows_seen": result.windows_seen,
+            "spikes": result.spikes,
+            "achieved_rps": round(result.achieved_rps, 3),
+            "rows": result.rows(),
+        }, sort_keys=True))
+    else:
+        rows = [
+            (row["class"], str(row["requests"]), f"{row['p50_us']:.3f}",
+             f"{row['p99_us']:.3f}", f"{row['p999_us']:.3f}",
+             f"{row['max_us']:.3f}")
+            for row in result.rows()
+        ]
+        print(format_table(
+            ["Class", "Requests", "p50 (µs)", "p99 (µs)", "p999 (µs)",
+             "max (µs)"],
+            rows,
+            title=(f"{args.trace_shape} on {args.app} "
+                   f"({args.design} migration): open-loop tail latency")))
+        print(f"\nachieved rate: {result.achieved_rps:,.0f} rps "
+              f"(offered {args.rate:,.0f}); "
+              f"{result.windows_seen} migration windows, "
+              f"{result.spikes} load spikes")
+        if args.manifest:
+            print(f"run manifest written to {args.manifest}")
+
+
 def _resolve_plan(name: str | None):
     """A named fault plan, or None; unknown names exit with the list."""
     if name is None:
@@ -276,10 +329,11 @@ def _cmd_trace(args) -> None:
         # No input stream: run a small steady-state workload under
         # tracing so the command is useful standalone.
         from .mm import KernelConfig, LinuxKernel
-        from .workloads import BY_NAME, Workload
+        from .workloads import Workload, get_service
 
         kernel = LinuxKernel(KernelConfig(mem_bytes=MiB(args.mem_mib)))
-        workload = Workload(kernel, BY_NAME[args.service], seed=args.seed)
+        workload = Workload(kernel, get_service(args.service),
+                            seed=args.seed)
         with tracing(*(args.match or ["*"])) as sink:
             workload.start()
             for _ in range(args.steps):
@@ -649,6 +703,31 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--mem-mib", type=int, default=128)
     trace.add_argument("--steps", type=int, default=60)
     trace.set_defaults(fn=_cmd_trace)
+
+    from .workloads.tracegen import APPS, DESIGNS, list_shapes
+
+    loadgen = sub.add_parser(
+        "loadgen", help="open-loop tail-latency burst (§5.3)",
+        parents=[_common_options(seed=0, manifest=True, json_flag=True)])
+    loadgen.add_argument("--trace-shape", default="azure-faas",
+                         choices=list_shapes(),
+                         help="registered trace shape "
+                              "(default: azure-faas)")
+    loadgen.add_argument("--rate", type=float, default=2_000_000.0,
+                         help="offered load in requests/second of "
+                              "simulated time")
+    loadgen.add_argument("--duration", type=float, default=1e-3,
+                         help="burst length in simulated seconds")
+    loadgen.add_argument("--app", default="nginx", choices=sorted(APPS),
+                         help="interference app profile")
+    loadgen.add_argument("--design", default="noncacheable",
+                         choices=DESIGNS,
+                         help="migration design ('none' = no windows)")
+    loadgen.add_argument("--migrations", type=float, default=12_000.0,
+                         help="migration windows per simulated second")
+    loadgen.add_argument("--buffer-pages", type=int, default=64,
+                         help="request-buffer working set in pages")
+    loadgen.set_defaults(fn=_cmd_loadgen)
 
     metrics = sub.add_parser(
         "metrics", help="pretty-print one run manifest, or diff two",

@@ -153,6 +153,30 @@ class FleetSample:
             totals.merge(scan.vmstat)
         return totals
 
+    def tail_summary(self) -> dict[str, dict[str, float]]:
+        """Fleet-wide tail-latency aggregates from per-server bursts.
+
+        For each latency class the per-server p99s are summarised as
+        median / worst (exact percentiles do not merge across servers,
+        so the fleet view is a distribution *of* per-server tails).
+        Empty when no server ran a loadgen burst.
+        """
+        per_class: dict[str, list[tuple[float, float]]] = {}
+        for scan in self.completed_scans():
+            for cls, row in scan.latency.items():
+                if row.get("requests", 0):
+                    per_class.setdefault(cls, []).append(
+                        (row["p99_us"], row["p999_us"]))
+        return {
+            cls: {
+                "servers": len(rows),
+                "p99_us_median": median([r[0] for r in rows]),
+                "p99_us_max": max(r[0] for r in rows),
+                "p999_us_max": max(r[1] for r in rows),
+            }
+            for cls, rows in sorted(per_class.items())
+        }
+
     def snapshot(self) -> dict:
         """Fleet-level aggregates as one plain dict
         (:class:`~repro.telemetry.Snapshotable` surface)."""
@@ -170,6 +194,11 @@ class FleetSample:
         for src, frac in sorted(self.source_breakdown().items(),
                                 key=lambda kv: kv[0].name):
             snap[f"unmovable_share.{src.name.lower()}"] = frac
+        # Latency keys appear only on loadgen runs, keeping loadgen-free
+        # snapshots byte-identical to earlier releases.
+        for cls, row in self.tail_summary().items():
+            for key, value in row.items():
+                snap[f"latency.{cls}.{key}"] = value
         return snap
 
     def merge(self, other: "FleetSample") -> "FleetSample":
@@ -190,7 +219,7 @@ class FleetSample:
 def _manifest_config(n_servers: int, config: ServerConfig | None,
                      base_seed: int) -> dict:
     cfg = config or ServerConfig()
-    return {
+    config_dict = {
         "n_servers": n_servers,
         "base_seed": base_seed,
         "mem_bytes": cfg.mem_bytes,
@@ -203,6 +232,10 @@ def _manifest_config(n_servers: int, config: ServerConfig | None,
         "fault_plan": (cfg.fault_plan.snapshot()
                        if cfg.fault_plan is not None else None),
     }
+    # Only on loadgen fleets, so earlier manifests diff clean.
+    if cfg.loadgen is not None:
+        config_dict["loadgen"] = cfg.loadgen.snapshot()
+    return config_dict
 
 
 def run_fleet(config: FleetConfig | int, /, **legacy) -> FleetSample:
@@ -306,6 +339,9 @@ class FleetSummary:
     uptime_correlation: float
     source_breakdown: dict[AllocSource, float]
     vmstat: CounterSet
+    #: Fleet-wide tail-latency aggregates (``FleetSample.tail_summary``
+    #: parity); empty on loadgen-free surveys.
+    tail: dict[str, dict[str, float]] = field(default_factory=dict)
     manifest: dict | None = field(default=None, compare=False, repr=False)
 
     def snapshot(self) -> dict:
@@ -321,7 +357,14 @@ class FleetSummary:
         for src, frac in sorted(self.source_breakdown.items(),
                                 key=lambda kv: kv[0].name):
             snap[f"unmovable_share.{src.name.lower()}"] = frac
+        for cls, row in self.tail.items():
+            for key, value in row.items():
+                snap[f"latency.{cls}.{key}"] = value
         return snap
+
+    def tail_summary(self) -> dict[str, dict[str, float]]:
+        """:meth:`FleetSample.tail_summary` parity."""
+        return self.tail
 
     def vmstat_totals(self) -> CounterSet:
         """Merged vmstat counters (:class:`FleetSample` parity)."""
@@ -349,6 +392,8 @@ class _StreamAggregator:
         self._rows: list[tuple[int, float, float, float]] = []
         self._source_totals: dict[AllocSource, int] = {}
         self._vmstat = CounterSet()
+        #: Per-class tail rows: class -> [(index, p99_us, p999_us)].
+        self._tail_rows: dict[str, list[tuple[int, float, float]]] = {}
 
     def add(self, index: int, scan: ServerScan) -> None:
         self.n_seen += 1
@@ -362,12 +407,28 @@ class _StreamAggregator:
                            float(scan.free_2m_blocks),
                            scan.contiguity["2MB"],
                            scan.unmovable["2MB"]))
+        for cls, row in scan.latency.items():
+            if row.get("requests", 0):
+                self._tail_rows.setdefault(cls, []).append(
+                    (index, row["p99_us"], row["p999_us"]))
 
     def finalize(self) -> FleetSummary:
         rows = sorted(self._rows)
         live = len(rows)
         zeroes = sum(1 for r in rows if r[3] == 0.0)
         grand = sum(self._source_totals.values())
+        # Index-sorted for the same fold order FleetSample.tail_summary
+        # sees; median/max are order-free but the contract is
+        # bit-identity, not near-identity.
+        tail = {
+            cls: {
+                "servers": len(trs),
+                "p99_us_median": median([t[1] for t in sorted(trs)]),
+                "p99_us_max": max(t[1] for t in trs),
+                "p999_us_max": max(t[2] for t in trs),
+            }
+            for cls, trs in sorted(self._tail_rows.items())
+        }
         return FleetSummary(
             n_servers=self.n_seen,
             n_failed_servers=self.n_failed,
@@ -381,6 +442,7 @@ class _StreamAggregator:
                                in self._source_totals.items()}
                               if grand else {}),
             vmstat=self._vmstat,
+            tail=tail,
         )
 
 

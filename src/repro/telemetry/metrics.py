@@ -191,6 +191,29 @@ class Histogram:
                 return self.bucket_bounds(i)[1]
         return self.bucket_bounds(HIST_BUCKETS - 1)[1]
 
+    def percentiles(self, qs: tuple[float, ...] = (50.0, 99.0, 99.9)
+                    ) -> list[float]:
+        """Batch :meth:`percentile`: one pass over the buckets for all
+        ranks (tail-latency reports ask for p50/p99/p999 together)."""
+        for q in qs:
+            if not 0 <= q <= 100:
+                raise ConfigurationError(f"q={q} outside [0, 100]")
+        if not self.count:
+            return [0.0 for _ in qs]
+        order = sorted(range(len(qs)), key=lambda k: qs[k])
+        out = [0.0] * len(qs)
+        counts = self.buckets.tolist()
+        seen = 0
+        i = 0
+        for k in order:
+            rank = qs[k] / 100.0 * self.count
+            while i < HIST_BUCKETS and not (seen + counts[i] >= rank
+                                            and counts[i]):
+                seen += counts[i]
+                i += 1
+            out[k] = self.bucket_bounds(min(i, HIST_BUCKETS - 1))[1]
+        return out
+
     def snapshot(self) -> dict:
         """Counts keyed by bucket lower edge (non-empty buckets only)."""
         idx = np.flatnonzero(self.buckets)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from ..sim.trace import TraceSpec
 from .base import WorkloadSpec
+from .registry import register_service
 
 WEB = WorkloadSpec(
     name="Web",
@@ -145,5 +146,16 @@ PRODUCTION_SERVICES = (WEB, CACHE_A, CACHE_B)
 #: The Fig. 3 page-walk characterisation set.
 WALK_CHARACTERISATION = (WEB, CACHE_A, CACHE_B, ADS)
 
+# The typed front door: kebab-case registry names; the specs' CamelCase
+# display names stay usable as lookup aliases (see registry.py).
+register_service("web", WEB)
+register_service("cache-a", CACHE_A)
+register_service("cache-b", CACHE_B)
+register_service("ci", CI)
+register_service("ads", ADS)
+register_service("rdma", RDMA)
+
+#: Deprecated: use ``get_service(name)`` instead.  Kept for the
+#: warn-once shim in ``repro.workloads.__getattr__``.
 BY_NAME = {spec.name: spec
            for spec in (WEB, CACHE_A, CACHE_B, CI, ADS, RDMA)}

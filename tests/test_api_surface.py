@@ -14,6 +14,7 @@ import pytest
 import repro
 import repro.experiments
 import repro.fleet
+import repro.workloads
 from repro.errors import ConfigurationError
 from repro.fleet import FleetConfig, run_fleet, sample_fleet
 from repro.fleet import sampler as sampler_mod
@@ -98,8 +99,51 @@ class TestExportSnapshots:
             "unregister",
         ]
 
+    def test_workloads_all(self):
+        assert sorted(repro.workloads.__all__) == [
+            "LatencyRecorder",
+            "LoadgenConfig",
+            "LoadgenResult",
+            "LoopResult",
+            "MEMCACHED",
+            "MigrationSchedule",
+            "NGINX",
+            "PRODUCTION_SERVICES",
+            "REGULAR_RATE",
+            "RequestLoop",
+            "ServerApp",
+            "TraceEvent",
+            "TraceRecorder",
+            "TraceShape",
+            "VERY_HIGH_RATE",
+            "WALK_CHARACTERISATION",
+            "Workload",
+            "WorkloadConfig",
+            "WorkloadResult",
+            "WorkloadSpec",
+            "canonical_service_name",
+            "fragment_fully",
+            "fragment_partially",
+            "get_service",
+            "get_shape",
+            "interference_overhead",
+            "list_services",
+            "list_shapes",
+            "load_trace",
+            "migration_window_cycles",
+            "register_service",
+            "register_shape",
+            "relative_throughput",
+            "relative_throughput_simulated",
+            "replay",
+            "run_loadgen",
+            "run_workload",
+            "sample_arrivals",
+            "sample_service",
+        ]
+
     def test_all_names_actually_exported(self):
-        for mod in (repro, repro.fleet, repro.experiments):
+        for mod in (repro, repro.fleet, repro.experiments, repro.workloads):
             for name in mod.__all__:
                 assert hasattr(mod, name), f"{mod.__name__}.{name}"
 
@@ -167,3 +211,90 @@ class TestDeprecationShims:
         front = run_fleet(FleetConfig(n_servers=2, server=SMALL,
                                       base_seed=6, workers=1))
         assert shim == front
+
+
+class TestWorkloadFrontDoor:
+    def test_get_service_kebab_and_alias(self):
+        from repro.workloads import canonical_service_name, get_service
+
+        assert get_service("cache-b").name == "CacheB"
+        # CamelCase spec names resolve as aliases of the kebab registry.
+        assert get_service("CacheB") is get_service("cache-b")
+        assert canonical_service_name("CacheB") == "cache-b"
+
+    def test_get_service_unknown_lists_known(self):
+        from repro.workloads import get_service
+
+        with pytest.raises(ConfigurationError, match="cache-b"):
+            get_service("no-such-service")
+
+    def test_list_services_sorted_kebab(self):
+        from repro.workloads import list_services
+
+        names = list_services()
+        assert names == sorted(names)
+        assert {"web", "cache-a", "cache-b", "ci", "ads",
+                "rdma"} <= set(names)
+
+    def test_workload_config_frozen_and_validated(self):
+        from repro.workloads import WorkloadConfig
+
+        cfg = WorkloadConfig(service="web")
+        with pytest.raises(Exception):
+            cfg.steps = 5
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(service="web", steps=-1)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(service="web", kernel="plan9")
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(service="web", mem_bytes=MiB(1))
+
+    def test_run_workload_returns_snapshotable_result(self):
+        from repro.workloads import WorkloadConfig, run_workload
+
+        result = run_workload(WorkloadConfig(
+            service="cache-b", mem_bytes=MiB(64), steps=30, seed=5))
+        snap = result.snapshot()
+        assert snap["service"] == "cache-b"
+        assert snap["steps"] == 30
+        assert 0.0 <= snap["huge_coverage"]["2m"] <= 1.0
+        assert "latency" not in snap  # no loadgen burst requested
+
+
+class TestWorkloadDeprecationShims:
+    def _reset(self, key: str) -> None:
+        repro.workloads._DEPRECATION_WARNED.discard(key)
+
+    def test_service_constant_warns_exactly_once(self):
+        self._reset("WEB")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            a = repro.workloads.WEB
+            b = repro.workloads.WEB
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)
+                        and "WEB" in str(w.message)]
+        assert len(deprecations) == 1
+        assert a is b
+
+    def test_service_constant_first_access_raises_under_w_error(self):
+        self._reset("CACHE_B")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with pytest.raises(DeprecationWarning, match="cache-b"):
+                repro.workloads.CACHE_B
+
+    def test_by_name_shim_matches_registry(self):
+        from repro.workloads import get_service, list_services
+
+        repro.workloads._DEPRECATION_WARNED.add("BY_NAME")
+        by_name = repro.workloads.BY_NAME
+        for camel, spec in by_name.items():
+            assert get_service(camel) is spec
+        assert len(by_name) == len(list_services())
+
+    def test_shim_matches_front_door(self):
+        from repro.workloads import get_service
+
+        repro.workloads._DEPRECATION_WARNED.add("RDMA")
+        assert repro.workloads.RDMA is get_service("rdma")

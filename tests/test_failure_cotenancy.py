@@ -13,7 +13,8 @@ from repro.mm import (
 )
 from repro.sim.trace import TraceSpec, generate_addresses
 from repro.units import PAGEBLOCK_FRAMES
-from repro.workloads import CACHE_B, CI, Workload
+from repro.workloads import Workload
+from repro.workloads.services import CACHE_B, CI
 
 from conftest import make_contiguitas, make_linux
 

@@ -13,10 +13,10 @@ from repro.mm import AllocSource, KernelConfig
 from repro.units import MiB, PAGEBLOCK_FRAMES
 from repro.vm import AddressSpace, EXTENT_BYTES
 from repro.workloads import (
-    CACHE_B,
     Workload,
     fragment_fully,
 )
+from repro.workloads.services import CACHE_B
 
 from conftest import make_contiguitas, make_linux
 

@@ -17,7 +17,7 @@ from repro.perfmodel import (
 )
 from repro.perfmodel.walkcycles import WalkCycleResult
 from repro.sim.tlb import SHIFT_1G, SHIFT_2M, SHIFT_4K
-from repro.workloads import CACHE_B, WEB
+from repro.workloads.services import CACHE_B, WEB
 
 N = 60_000  # instructions per model run (kept small for test speed)
 
@@ -142,7 +142,8 @@ class TestAddrspaceIntegration:
         from conftest import make_contiguitas, make_linux
         from repro.perfmodel import walk_cycles_from_addrspace
         from repro.vm import AddressSpace, EXTENT_BYTES
-        from repro.workloads import CACHE_B, fragment_fully
+        from repro.workloads import fragment_fully
+        from repro.workloads.services import CACHE_B
 
         results = {}
         for name, kernel in (
@@ -162,7 +163,7 @@ class TestAddrspaceIntegration:
         from repro.errors import ConfigurationError
         from repro.perfmodel import walk_cycles_from_addrspace
         from repro.vm import AddressSpace
-        from repro.workloads import CACHE_B
+        from repro.workloads.services import CACHE_B
         from conftest import make_linux
 
         with pytest.raises(ConfigurationError):

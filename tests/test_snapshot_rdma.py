@@ -13,7 +13,8 @@ from repro.analysis import (
 from repro.analysis.contiguity import movable_potential
 from repro.errors import ConfigurationError
 from repro.units import PAGEBLOCK_FRAMES
-from repro.workloads import RDMA, Workload
+from repro.workloads import Workload
+from repro.workloads.services import RDMA
 
 from conftest import make_contiguitas, make_linux
 

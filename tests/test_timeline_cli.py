@@ -60,7 +60,7 @@ class TestCli:
         assert set(sub.choices) == {"fig13", "walk", "steady", "fleet",
                                     "hwcost", "interference", "autotune",
                                     "chaos", "trace", "metrics", "lint",
-                                    "experiment"}
+                                    "experiment", "loadgen"}
 
     def test_shared_options_spelled_identically(self):
         """The consolidated verbs take --seed/--workers/--json/--manifest
@@ -112,3 +112,25 @@ class TestCli:
         out = capsys.readouterr().out
         assert "unmovable region" in out
         assert "confinement violations" in out
+
+    def test_loadgen_runs(self, capsys):
+        main(["loadgen", "--trace-shape", "steady", "--rate", "500000",
+              "--duration", "0.0005", "--seed", "9"])
+        out = capsys.readouterr().out
+        assert "open-loop tail latency" in out
+        assert "migration" in out and "quiet" in out
+        assert "migration windows" in out
+
+    def test_loadgen_json_deterministic(self, capsys):
+        argv = ["loadgen", "--json", "--trace-shape", "spiky-cache",
+                "--rate", "500000", "--duration", "0.0005", "--seed", "9"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        assert capsys.readouterr().out == first
+        import json
+
+        doc = json.loads(first)
+        assert doc["requests"] > 0
+        assert {row["class"] for row in doc["rows"]} == {
+            "all", "migration", "quiet"}

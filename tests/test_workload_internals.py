@@ -7,7 +7,8 @@ import pytest
 
 from repro.mm import vmstat as ev
 from repro.units import PAGEBLOCK_FRAMES
-from repro.workloads import CACHE_B, Workload
+from repro.workloads import Workload
+from repro.workloads.services import CACHE_B
 
 from conftest import make_linux
 

@@ -6,14 +6,11 @@ from repro.core.hwext import AccessMode
 from repro.mm import vmstat as ev
 from repro.units import MiB, PAGEBLOCK_FRAMES
 from repro.workloads import (
-    CACHE_B,
-    CI,
     MEMCACHED,
     NGINX,
     PRODUCTION_SERVICES,
     REGULAR_RATE,
     VERY_HIGH_RATE,
-    WEB,
     Workload,
     WorkloadSpec,
     fragment_fully,
@@ -21,6 +18,7 @@ from repro.workloads import (
     interference_overhead,
     relative_throughput,
 )
+from repro.workloads.services import CACHE_B, CI, WEB
 from repro.analysis import unmovable_block_fraction, unmovable_page_fraction
 
 from conftest import make_contiguitas, make_linux
