@@ -1,0 +1,159 @@
+"""deeplint: whole-program contract analysis for the repro tree.
+
+simlint (:mod:`repro.analysis.simlint`) checks one file at a time; the
+contracts that keep multi-day sweeps credible span the tree and its
+docs.  deeplint parses every module once into a shared
+:class:`~repro.analysis.deeplint.model.ProgramModel` and runs the
+cross-module passes over it:
+
+* **DL101** — every tracepoint/metric name emitted anywhere must match
+  the docs/OBSERVABILITY.md catalogue (and vice versa, and kinds agree);
+* **DL102** — every string-seeded ``random.Random`` follows the
+  ``{site}:{purpose}…:{seed}`` named-stream convention and stream
+  objects don't escape their declaring purpose;
+* **DL103** — docs/API.md and the code agree on the stable surface
+  (``__all__`` snapshots, live deprecation shims, no internal use of
+  deprecated spellings, frozen front-door configs);
+* **DL104** — nothing reachable from a manifest/snapshot producer
+  iterates a set unsorted or calls ``id()``.
+
+Findings are the same :class:`~repro.analysis.simlint.core.Finding`
+type simlint produces, so they flow through the same text/JSON
+renderers plus the SARIF 2.1.0 emitter, and ``# simlint:
+disable=DLxxx`` comments suppress source-anchored findings exactly like
+shallow ones.  Docs-anchored findings (a dead catalogue row) are only
+suppressible via the committed baseline file — see docs/ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from ..simlint.core import Finding, iter_python_files
+from ..simlint.rules import rule_catalogue as _shallow_catalogue
+from .baseline import (
+    Baseline,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .catalogue import parse_api_doc, parse_observability
+from .model import ProgramModel, build_program_model
+from .passes import DEEP_RULES, Contracts, deep_rule_catalogue
+from .sarif import render_sarif
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "DEEP_RULES",
+    "DeepLintError",
+    "apply_baseline",
+    "build_program_model",
+    "deep_lint_paths",
+    "deep_rule_catalogue",
+    "find_contract_root",
+    "full_rule_catalogue",
+    "load_baseline",
+    "render_sarif",
+    "write_baseline",
+]
+
+
+class DeepLintError(ValueError):
+    """Deep analysis could not be configured (no docs contract found)."""
+
+
+def find_contract_root(paths, docs_dir: str | None = None) -> str:
+    """Locate the repo root whose ``docs/`` holds the contracts.
+
+    Walks up from the first analyzed path until a directory containing
+    ``docs/OBSERVABILITY.md`` is found — so fixture packages that carry
+    their own ``docs/`` get checked against those, not the repo's.  An
+    explicit *docs_dir* (the parent of OBSERVABILITY.md/API.md) skips
+    the walk.
+    """
+    if docs_dir is not None:
+        if not os.path.isfile(os.path.join(docs_dir, "OBSERVABILITY.md")):
+            raise DeepLintError(
+                f"--docs {docs_dir!r} has no OBSERVABILITY.md")
+        return os.path.dirname(os.path.abspath(docs_dir)) or os.sep
+    if not paths:
+        raise DeepLintError("no paths to analyze")
+    probe = os.path.abspath(str(next(iter(paths))))
+    if os.path.isfile(probe):
+        probe = os.path.dirname(probe)
+    while True:
+        if os.path.isfile(os.path.join(probe, "docs", "OBSERVABILITY.md")):
+            return probe
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            raise DeepLintError(
+                "no docs/OBSERVABILITY.md found above the analyzed "
+                "paths — the deep passes check code against that "
+                "contract (pass --docs to point at it explicitly)")
+        probe = parent
+
+
+def _relative(path: str, root: str) -> str:
+    rel = os.path.relpath(os.path.abspath(path), root)
+    return pathlib.PurePath(rel).as_posix()
+
+
+def deep_lint_paths(paths, docs_dir: str | None = None,
+                    rules=None) -> list[Finding]:
+    """Run the deep passes over *paths*; findings sorted, paths relative
+    to the discovered contract root (stable across machines)."""
+    root = find_contract_root(paths, docs_dir)
+    model = ProgramModel()
+    for path in iter_python_files(paths):
+        model.add_file(path, display_path=_relative(path, root))
+    model.build_indexes()
+
+    findings: list[Finding] = [
+        Finding(path=path, line=exc.lineno or 1, col=0, rule="DL100",
+                message=f"file does not parse: {exc.msg}")
+        for path, exc in sorted(model.parse_errors.items())
+    ]
+
+    obs_path = os.path.join(root, "docs", "OBSERVABILITY.md")
+    api_path = os.path.join(root, "docs", "API.md")
+    catalogue = parse_observability(obs_path)
+    catalogue.path = _relative(obs_path, root)
+    package = min((name.partition(".")[0] for name in model.modules),
+                  default="repro")
+    if os.path.isfile(api_path):
+        api = parse_api_doc(api_path, package=package)
+        api.path = _relative(api_path, root)
+    else:
+        from .catalogue import ApiDoc
+
+        api = ApiDoc(path=_relative(api_path, root))
+    contracts = Contracts(catalogue=catalogue, api=api, package=package)
+
+    for rule in (DEEP_RULES if rules is None else rules):
+        findings.extend(rule.check(model, contracts))
+
+    by_path = {info.path: info for info in model.modules.values()}
+    kept = []
+    for finding in findings:
+        info = by_path.get(finding.path)
+        if info is not None and info.ctx.suppressed(finding):
+            continue
+        kept.append(finding)
+    return sorted(kept)
+
+
+def full_rule_catalogue() -> list[tuple[str, str, str]]:
+    """The shallow (SL) plus deep (DL) rule catalogue, in code order —
+    the rule table SARIF documents and tests pin."""
+    shallow = [("SL000", "file must parse",
+                "A file the per-file linter was pointed at does not "
+                "parse.")]
+    shallow.extend(_shallow_catalogue())
+    deep = [("DL100", "analysis-blocking parse failure",
+             "A file under analysis does not parse; fix it before "
+             "trusting any cross-module result.")]
+    deep.extend(deep_rule_catalogue())
+    return shallow + deep

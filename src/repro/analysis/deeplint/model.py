@@ -1,0 +1,339 @@
+"""The shared whole-program model the deep passes run on.
+
+simlint sees one AST at a time; the contracts deeplint checks span the
+tree — a tracepoint emitted in ``mm`` documented in ``docs/``, an RNG
+stream declared in ``workloads`` escaping through ``fleet``, a
+deprecated symbol shimmed in one module and still called from another.
+:class:`ProgramModel` parses every file once (reusing simlint's
+:class:`~repro.analysis.simlint.core.FileContext`, so parent links and
+``# simlint: disable=`` allowlists come for free) and builds the three
+indexes the passes share:
+
+* a **module graph** — dotted module names, file paths, and the
+  repo-internal import edges between them (relative imports resolved);
+* a **call-site index** — every call, keyed by the callee's simple
+  name, so reachability sweeps don't re-walk the forest;
+* **string-literal provenance** — module-level string constants,
+  importable across modules, so a name spelled ``PREFIX + suffix`` or
+  ``f"{SITE}:{seed}"`` still resolves to its literal prefix.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+
+from ..simlint.core import FileContext, iter_python_files
+
+__all__ = [
+    "CallSite",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProgramModel",
+    "StringVal",
+    "build_program_model",
+]
+
+
+@dataclass(frozen=True)
+class StringVal:
+    """What static analysis knows about a string expression.
+
+    ``exact=True`` means *prefix* is the whole value; ``exact=False``
+    means the value starts with *prefix* and continues with runtime
+    content (an f-string field, a concatenated variable, ...).
+    """
+
+    prefix: str
+    exact: bool
+
+    def render(self) -> str:
+        return self.prefix if self.exact else self.prefix + "{…}"
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition."""
+
+    module: str
+    qualname: str          # "ClassName.method" or "function"
+    name: str              # the simple name
+    node: ast.AST = field(compare=False, hash=False, repr=False)
+    class_name: str | None = None
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression, indexed by the callee's simple name."""
+
+    module: str
+    callee: str            # last component: "foo" for a.b.foo(...)
+    dotted: str | None     # full dotted chain when statically renderable
+    node: ast.Call = field(compare=False, hash=False, repr=False)
+    #: innermost enclosing function, or None at module level
+    enclosing: FunctionInfo | None = None
+
+
+class ModuleInfo:
+    """One parsed source file plus its per-module indexes."""
+
+    def __init__(self, name: str, path: str, ctx: FileContext) -> None:
+        self.name = name
+        self.path = path
+        self.ctx = ctx
+        self.tree = ctx.tree
+        #: local name -> fully qualified imported name ("x" -> "pkg.mod.x"
+        #: or "pkg.mod" for module imports); repo-relative imports are
+        #: resolved against this module's dotted name.
+        self.imports: dict[str, str] = {}
+        #: module-level NAME = "literal" string constants.
+        self.constants: dict[str, str] = {}
+        #: functions and methods defined here, by qualname.
+        self.functions: dict[str, FunctionInfo] = {}
+        self._index_imports()
+        self._index_constants()
+        self._index_functions()
+
+    # -- indexing -------------------------------------------------------
+
+    def _resolve_relative(self, module: str | None, level: int) -> str:
+        """Absolute dotted module for a ``from ... import`` statement."""
+        if level == 0:
+            return module or ""
+        # level 1 = this package, 2 = parent package, ...
+        parts = self.name.split(".")
+        base = parts[:-level] if level <= len(parts) else []
+        if module:
+            base.append(module)
+        return ".".join(base)
+
+    def _index_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imports[alias.asname
+                                 or alias.name.partition(".")[0]] = (
+                        alias.name if alias.asname else
+                        alias.name.partition(".")[0])
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_relative(node.module, node.level)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.imports[alias.asname or alias.name] = (
+                        f"{base}.{alias.name}" if base else alias.name)
+
+    def _index_constants(self) -> None:
+        for node in self.tree.body:
+            if (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)):
+                self.constants[node.targets[0].id] = node.value.value
+
+    def _index_functions(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            class_name = None
+            for parent in self.ctx.parents(node):
+                if isinstance(parent, ast.ClassDef):
+                    class_name = parent.name
+                    break
+                if isinstance(parent, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    break
+            qual = f"{class_name}.{node.name}" if class_name else node.name
+            self.functions[qual] = FunctionInfo(
+                module=self.name, qualname=qual, name=node.name,
+                node=node, class_name=class_name)
+
+    # -- queries --------------------------------------------------------
+
+    def dotted(self, node: ast.AST) -> str | None:
+        """Render a Name/Attribute chain with the root expanded through
+        this module's imports (``tp.emit`` -> ``repro...events.tp.emit``
+        when ``tp`` was imported)."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+class ProgramModel:
+    """Every module under one (or more) package roots, parsed once."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        #: module dotted name -> set of repo-internal modules it imports
+        self.module_graph: dict[str, set[str]] = {}
+        self.call_sites: list[CallSite] = []
+        self.calls_by_name: dict[str, list[CallSite]] = {}
+        self.functions_by_name: dict[str, list[FunctionInfo]] = {}
+        #: files that failed to parse: path -> SyntaxError
+        self.parse_errors: dict[str, SyntaxError] = {}
+
+    # -- construction ---------------------------------------------------
+
+    @staticmethod
+    def _module_name(path: str) -> str:
+        """Dotted module name from the package layout on disk: walk up
+        through ``__init__.py`` packages."""
+        path = os.path.abspath(path)
+        parts = [os.path.splitext(os.path.basename(path))[0]]
+        d = os.path.dirname(path)
+        while os.path.isfile(os.path.join(d, "__init__.py")):
+            parts.append(os.path.basename(d))
+            d = os.path.dirname(d)
+        if parts[0] == "__init__":
+            parts = parts[1:] or parts
+        return ".".join(reversed(parts))
+
+    def add_file(self, path: str, display_path: str | None = None) -> None:
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        display = display_path or str(path)
+        try:
+            ctx = FileContext(source, display)
+        except SyntaxError as exc:
+            self.parse_errors[display] = exc
+            return
+        info = ModuleInfo(self._module_name(path), display, ctx)
+        self.modules[info.name] = info
+
+    def build_indexes(self) -> None:
+        """Populate the program-wide indexes after all files are added."""
+        package_roots = {name.partition(".")[0] for name in self.modules}
+        for info in self.modules.values():
+            for fn in info.functions.values():
+                self.functions_by_name.setdefault(fn.name, []).append(fn)
+            edges = self.module_graph.setdefault(info.name, set())
+            for target in info.imports.values():
+                top = target.partition(".")[0]
+                if top in package_roots:
+                    # Trim trailing symbol components down to a module
+                    # we actually parsed ("pkg.mod.func" -> "pkg.mod").
+                    candidate = target
+                    while candidate and candidate not in self.modules:
+                        candidate = candidate.rpartition(".")[0]
+                    if candidate and candidate != info.name:
+                        edges.add(candidate)
+        for info in self.modules.values():
+            self._index_calls(info)
+
+    def _index_calls(self, info: ModuleInfo) -> None:
+        # Map each call to its innermost enclosing function once, via
+        # the parent links FileContext already laid down.
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute):
+                callee = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                callee = node.func.id
+            else:
+                continue
+            enclosing = None
+            for parent in info.ctx.parents(node):
+                if isinstance(parent, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    class_name = None
+                    for pp in info.ctx.parents(parent):
+                        if isinstance(pp, ast.ClassDef):
+                            class_name = pp.name
+                            break
+                        if isinstance(pp, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                            break
+                    qual = (f"{class_name}.{parent.name}"
+                            if class_name else parent.name)
+                    enclosing = info.functions.get(qual)
+                    break
+            site = CallSite(module=info.name, callee=callee,
+                            dotted=info.dotted(node.func), node=node,
+                            enclosing=enclosing)
+            self.call_sites.append(site)
+            self.calls_by_name.setdefault(callee, []).append(site)
+
+    # -- string provenance ----------------------------------------------
+
+    def resolve_string(self, info: ModuleInfo,
+                       node: ast.AST) -> StringVal | None:
+        """Best-effort static value of a string expression.
+
+        Handles literals, f-strings (literal head, dynamic tail),
+        ``+``-concatenation, and names resolving to module-level string
+        constants — including constants imported from sibling modules.
+        Returns None when the expression is not string-like at all.
+        """
+        if isinstance(node, ast.Constant):
+            return (StringVal(node.value, True)
+                    if isinstance(node.value, str) else None)
+        if isinstance(node, ast.JoinedStr):
+            prefix: list[str] = []
+            exact = True
+            for part in node.values:
+                if (isinstance(part, ast.Constant)
+                        and isinstance(part.value, str)):
+                    prefix.append(part.value)
+                else:
+                    exact = False
+                    break
+            return StringVal("".join(prefix), exact)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            left = self.resolve_string(info, node.left)
+            if left is None:
+                return None
+            if not left.exact:
+                return left
+            right = self.resolve_string(info, node.right)
+            if right is None:
+                return StringVal(left.prefix, False)
+            return StringVal(left.prefix + right.prefix, right.exact)
+        if isinstance(node, ast.Name):
+            return self._constant_value(info, node.id)
+        if isinstance(node, ast.Attribute):
+            dotted = info.dotted(node)
+            if dotted is None:
+                return None
+            owner, _, attr = dotted.rpartition(".")
+            target = self.modules.get(owner)
+            if target is not None and attr in target.constants:
+                return StringVal(target.constants[attr], True)
+            return None
+        return None
+
+    def _constant_value(self, info: ModuleInfo,
+                        local: str) -> StringVal | None:
+        if local in info.constants:
+            return StringVal(info.constants[local], True)
+        imported = info.imports.get(local)
+        if imported:
+            owner, _, attr = imported.rpartition(".")
+            target = self.modules.get(owner)
+            if target is not None and attr in target.constants:
+                return StringVal(target.constants[attr], True)
+        return None
+
+
+def build_program_model(paths) -> ProgramModel:
+    """Parse every ``.py`` file under *paths* into one model.
+
+    *paths* may be files or directories (the same contract as
+    ``lint_paths``); the walk order is deterministic, so every index —
+    and therefore every pass output — is too.
+    """
+    model = ProgramModel()
+    for path in iter_python_files(paths):
+        model.add_file(path)
+    model.build_indexes()
+    return model

@@ -1,0 +1,726 @@
+"""The whole-program pass catalogue (DL101–DL104).
+
+Each pass is a class with a ``check(program, contracts)`` generator
+yielding the same :class:`~repro.analysis.simlint.core.Finding` type the
+per-file rules produce, so text/JSON/SARIF rendering and the CLI exit
+code treat shallow and deep findings uniformly.  Findings anchored in a
+source file honour ``# simlint: disable=DLxxx`` allowlists; findings
+anchored in a docs file (a documented-but-dead catalogue row) can only
+be suppressed through the baseline file.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from ..simlint.core import Finding
+from .catalogue import ApiDoc, TelemetryCatalogue
+from .model import FunctionInfo, ModuleInfo, ProgramModel
+
+__all__ = [
+    "DEEP_RULES",
+    "ApiSurfaceRule",
+    "Contracts",
+    "DeepRule",
+    "DeterminismBoundaryRule",
+    "RngStreamRule",
+    "TelemetryContractRule",
+    "deep_rule_catalogue",
+]
+
+
+@dataclass
+class Contracts:
+    """The machine-checked docs the passes diff the program against."""
+
+    catalogue: TelemetryCatalogue
+    api: ApiDoc
+    #: top-level package name of the analyzed tree ("repro", or the
+    #: fixture package under test)
+    package: str
+
+
+class DeepRule:
+    """Base class: subclasses set ``code``/``title`` and implement
+    :meth:`check` over the shared program model."""
+
+    code = "DL100"
+    title = ""
+
+    def check(self, program: ProgramModel,
+              contracts: Contracts) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    @staticmethod
+    def at(info: ModuleInfo, node: ast.AST, code: str,
+           message: str) -> Finding:
+        return Finding(path=info.path, line=node.lineno,
+                       col=node.col_offset, rule=code, message=message)
+
+    def doc_finding(self, path: str, line: int, message: str) -> Finding:
+        return Finding(path=path, line=line, col=0, rule=self.code,
+                       message=message)
+
+
+# ---------------------------------------------------------------------------
+# DL101 — telemetry contract
+# ---------------------------------------------------------------------------
+
+#: MetricsRegistry emission methods -> the instrument kind they create.
+_METRIC_KINDS = {"inc": "counter", "gauge": "gauge",
+                 "histogram": "histogram", "timer": "timer"}
+
+
+@dataclass(frozen=True)
+class _Emission:
+    info: ModuleInfo
+    node: ast.Call
+    prefix: str
+    exact: bool
+    kind: str              # "tracepoint" or a _METRIC_KINDS value
+
+    def render(self) -> str:
+        return self.prefix if self.exact else self.prefix + "{…}"
+
+
+class TelemetryContractRule(DeepRule):
+    """DL101: every telemetry name crosses the OBSERVABILITY.md catalogue.
+
+    Tracepoint declarations and MetricsRegistry emissions (counters,
+    gauges, histograms, timers — including dynamic names like
+    ``f"loadgen.latency.{cls}"``, matched by literal prefix against
+    ``loadgen.latency.{class}``) are extracted program-wide and diffed
+    against the two catalogue tables: an undocumented emission, a
+    documented name nothing emits, and a kind collision (documented
+    counter emitted as a histogram, one name emitted as two kinds, or
+    one name in both tables) are each findings.  The catalogue is the
+    dashboard/alerting contract — drift either way silently breaks
+    whoever consumes the names.
+    """
+
+    code = "DL101"
+    title = "telemetry names must match the OBSERVABILITY.md catalogue"
+
+    def _registry_vars(self, info: ModuleInfo) -> set[str]:
+        """Names assigned ``MetricsRegistry(...)`` anywhere in the module
+        (scope-insensitive, like simlint's set tracking)."""
+        out: set[str] = set()
+        for node in ast.walk(info.tree):
+            if (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)):
+                dotted = info.dotted(node.value.func) or ""
+                if dotted.rpartition(".")[2] == "MetricsRegistry":
+                    out.add(node.targets[0].id)
+        return out
+
+    def emissions(self, program: ProgramModel) -> list[_Emission]:
+        out: list[_Emission] = []
+        for name in sorted(program.modules):
+            info = program.modules[name]
+            registry_vars = self._registry_vars(info)
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.Call) or not node.args:
+                    continue
+                emission = self._classify(program, info, node,
+                                          registry_vars)
+                if emission is not None:
+                    out.append(emission)
+        return out
+
+    def _classify(self, program: ProgramModel, info: ModuleInfo,
+                  node: ast.Call,
+                  registry_vars: set[str]) -> _Emission | None:
+        func = node.func
+        if isinstance(func, ast.Name) or isinstance(func, ast.Attribute):
+            callee = func.attr if isinstance(func, ast.Attribute) else func.id
+        else:
+            return None
+        if callee == "tracepoint":
+            val = program.resolve_string(info, node.args[0])
+            if val is None or not val.prefix:
+                return None
+            return _Emission(info, node, val.prefix, val.exact,
+                             "tracepoint")
+        if callee in _METRIC_KINDS and isinstance(func, ast.Attribute):
+            receiver = func.value
+            recv_dotted = info.dotted(receiver) or ""
+            recv_leaf = recv_dotted.rpartition(".")[2]
+            if not (recv_leaf == "metrics" or recv_leaf in registry_vars):
+                return None
+            val = program.resolve_string(info, node.args[0])
+            if val is None or not val.prefix:
+                return None
+            return _Emission(info, node, val.prefix, val.exact,
+                             _METRIC_KINDS[callee])
+        return None
+
+    def check(self, program: ProgramModel,
+              contracts: Contracts) -> Iterator[Finding]:
+        cat = contracts.catalogue
+        emissions = self.emissions(program)
+        seen_kinds: dict[str, str] = {}
+        for em in emissions:
+            if em.kind == "tracepoint":
+                if not cat.match_tracepoint(em.prefix, em.exact):
+                    yield self.at(
+                        em.info, em.node, self.code,
+                        f"tracepoint '{em.render()}' is not in the "
+                        f"OBSERVABILITY.md tracepoint catalogue")
+            else:
+                entry = cat.match_metric(em.prefix, em.exact)
+                if entry is None:
+                    yield self.at(
+                        em.info, em.node, self.code,
+                        f"{em.kind} '{em.render()}' is not in the "
+                        f"OBSERVABILITY.md metric catalogue")
+                elif entry.kind != em.kind:
+                    yield self.at(
+                        em.info, em.node, self.code,
+                        f"kind collision: '{em.render()}' emitted as a "
+                        f"{em.kind} but documented as a {entry.kind} "
+                        f"(OBSERVABILITY.md:{entry.line})")
+                key = entry.name if entry is not None else em.render()
+                prior = seen_kinds.setdefault(key, em.kind)
+                if prior != em.kind:
+                    yield self.at(
+                        em.info, em.node, self.code,
+                        f"kind collision: '{em.render()}' emitted both "
+                        f"as a {prior} and as a {em.kind}")
+        for name in sorted(set(cat.tracepoints) & set(cat.metrics)):
+            yield self.doc_finding(
+                cat.path, cat.tracepoints[name].line,
+                f"kind collision: '{name}' appears in both the "
+                f"tracepoint and the metric catalogue")
+        for name in sorted(cat.tracepoints):
+            entry = cat.tracepoints[name]
+            if not any(em.kind == "tracepoint"
+                       and _matches(entry.name, em)
+                       for em in emissions):
+                yield self.doc_finding(
+                    cat.path, entry.line,
+                    f"documented tracepoint '{name}' is never declared "
+                    f"in the analyzed tree")
+        for name in sorted(cat.metrics):
+            entry = cat.metrics[name]
+            if not any(em.kind != "tracepoint" and _matches(entry.name, em)
+                       for em in emissions):
+                yield self.doc_finding(
+                    cat.path, entry.line,
+                    f"documented metric '{name}' ({entry.kind}) is never "
+                    f"emitted in the analyzed tree")
+
+
+def _matches(entry_name: str, em: _Emission) -> bool:
+    from .catalogue import names_match
+
+    return names_match(entry_name, em.prefix, em.exact)
+
+
+# ---------------------------------------------------------------------------
+# DL102 — RNG-stream hygiene
+# ---------------------------------------------------------------------------
+
+_SITE_RE = re.compile(r"^[a-z][a-z0-9_-]*$")
+
+
+class RngStreamRule(DeepRule):
+    """DL102: named RNG streams follow the convention and stay home.
+
+    The bit-identity invariant rests on every ``random.Random`` drawing
+    from a named per-purpose stream: a string seed shaped
+    ``{site}:{purpose}…:{seed}`` — a literal site token naming the
+    declaring module, at least one purpose segment, a dynamic final
+    field, and the run seed referenced by some dynamic field
+    (``f"tracegen:arrivals:{shape}:{seed}"``).
+    A malformed stream name silently aliases two purposes onto one
+    sequence; a stream object *escaping* its declaring purpose (returned
+    or yielded to arbitrary callers) lets foreign draws interleave with
+    it.  Integer-seeded singletons predating the convention are out of
+    scope (SL002 covers unseeded/global randomness).
+    """
+
+    code = "DL102"
+    title = "named RNG streams: {site}:{purpose}…:{seed}, no escape"
+
+    # -- seed-expression templating -------------------------------------
+
+    @staticmethod
+    def _template(node: ast.AST) -> tuple[str, list[ast.AST]] | None:
+        """Render a string expression as ``"lit{0}lit{1}"`` plus the
+        dynamic sub-expressions, or None when not string-shaped."""
+        if isinstance(node, ast.Constant):
+            return ((node.value, [])
+                    if isinstance(node.value, str) else None)
+        if isinstance(node, ast.JoinedStr):
+            text: list[str] = []
+            dynamic: list[ast.AST] = []
+            for part in node.values:
+                if (isinstance(part, ast.Constant)
+                        and isinstance(part.value, str)):
+                    text.append(part.value)
+                else:
+                    text.append(f"\x00{len(dynamic)}\x00")
+                    dynamic.append(part.value
+                                   if isinstance(part, ast.FormattedValue)
+                                   else part)
+            return "".join(text), dynamic
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            left = RngStreamRule._template(node.left)
+            if left is None:
+                return None
+            ltext, ldyn = left
+            right = RngStreamRule._template(node.right)
+            if right is None:
+                return ltext + "\x00%d\x00" % len(ldyn), ldyn + [node.right]
+            rtext, rdyn = right
+            rtext = re.sub(r"\x00(\d+)\x00",
+                           lambda m: "\x00%d\x00" % (int(m.group(1))
+                                                     + len(ldyn)),
+                           rtext)
+            return ltext + rtext, ldyn + rdyn
+        return None
+
+    @staticmethod
+    def _mentions_seed(node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and "seed" in sub.id.lower():
+                return True
+            if isinstance(sub, ast.Attribute) and "seed" in sub.attr.lower():
+                return True
+        return False
+
+    def _check_stream_name(self, info: ModuleInfo, call: ast.Call,
+                           seed_arg: ast.AST) -> Iterator[Finding]:
+        rendered = self._template(seed_arg)
+        if rendered is None:
+            return  # non-string seed: integer/injected, SL002 territory
+        text, dynamic = rendered
+        segments = text.split(":")
+        pretty = re.sub(r"\x00\d+\x00", "{…}", text)
+        if len(segments) < 3:
+            yield self.at(
+                info, call, self.code,
+                f"stream seed '{pretty}' does not follow the "
+                f"{{site}}:{{purpose}}…:{{seed}} convention (needs a "
+                f"site, at least one purpose segment, and the seed)")
+            return
+        site = segments[0]
+        if not _SITE_RE.fullmatch(site):
+            yield self.at(
+                info, call, self.code,
+                f"stream site (the head of '{pretty}') must be a "
+                f"literal lowercase token")
+        elif site.replace("-", "").replace("_", "") not in (
+                info.name.replace(".", "").replace("_", "")):
+            yield self.at(
+                info, call, self.code,
+                f"stream site '{site}' does not name its declaring "
+                f"module '{info.name}' — streams are per-site so a "
+                f"reader can find the declaration")
+        if re.fullmatch(r"\x00(\d+)\x00", segments[-1]) is None:
+            yield self.at(
+                info, call, self.code,
+                f"stream seed '{pretty}' must end with a dynamic "
+                f"':'-separated field (the run seed or a draw "
+                f"discriminator), not a constant")
+        if not any(self._mentions_seed(expr) for expr in dynamic):
+            yield self.at(
+                info, call, self.code,
+                f"no field of stream seed '{pretty}' references a seed "
+                f"value — every named stream must be derived from the "
+                f"run seed")
+
+    # -- escape analysis ------------------------------------------------
+
+    def _stream_assignments(self, info: ModuleInfo):
+        """Yield ``(call, target, enclosing_fn, class_name)`` for every
+        string-seeded Random assigned to a name or self-attribute."""
+        for node in ast.walk(info.tree):
+            if not (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.value, ast.Call)):
+                continue
+            call = node.value
+            if (info.dotted(call.func) != "random.Random"
+                    or not call.args
+                    or self._template(call.args[0]) is None):
+                continue
+            target = node.targets[0]
+            enclosing = None
+            class_name = None
+            for parent in info.ctx.parents(node):
+                if (enclosing is None
+                        and isinstance(parent, (ast.FunctionDef,
+                                                ast.AsyncFunctionDef))):
+                    enclosing = parent
+                if isinstance(parent, ast.ClassDef):
+                    class_name = parent.name
+                    break
+            yield call, target, enclosing, class_name
+
+    def _escapes(self, info: ModuleInfo) -> Iterator[Finding]:
+        class_attrs: dict[str, set[str]] = {}
+        for call, target, enclosing, class_name in (
+                self._stream_assignments(info)):
+            if isinstance(target, ast.Name) and enclosing is not None:
+                var = target.id
+                for sub in ast.walk(enclosing):
+                    if (isinstance(sub, (ast.Return, ast.Yield))
+                            and isinstance(sub.value, ast.Name)
+                            and sub.value.id == var):
+                        yield self.at(
+                            info, sub, self.code,
+                            f"named RNG stream '{var}' escapes its "
+                            f"declaring function "
+                            f"{enclosing.name}() via "
+                            f"{'return' if isinstance(sub, ast.Return) else 'yield'}"
+                            f" — draws outside the declaring purpose "
+                            f"break stream isolation")
+            elif (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and class_name is not None):
+                class_attrs.setdefault(class_name, set()).add(target.attr)
+        if not class_attrs:
+            return
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            attrs = class_attrs.get(node.name)
+            if not attrs:
+                continue
+            for sub in ast.walk(node):
+                if (isinstance(sub, (ast.Return, ast.Yield))
+                        and isinstance(sub.value, ast.Attribute)
+                        and isinstance(sub.value.value, ast.Name)
+                        and sub.value.value.id == "self"
+                        and sub.value.attr in attrs):
+                    yield self.at(
+                        info, sub, self.code,
+                        f"named RNG stream 'self.{sub.value.attr}' "
+                        f"escapes {node.name} via "
+                        f"{'return' if isinstance(sub, ast.Return) else 'yield'}"
+                        f" — hand out draws, not the stream object")
+
+    def check(self, program: ProgramModel,
+              contracts: Contracts) -> Iterator[Finding]:
+        for name in sorted(program.modules):
+            info = program.modules[name]
+            for node in ast.walk(info.tree):
+                if (isinstance(node, ast.Call) and node.args
+                        and info.dotted(node.func) == "random.Random"):
+                    yield from self._check_stream_name(info, node,
+                                                       node.args[0])
+            yield from self._escapes(info)
+
+
+# ---------------------------------------------------------------------------
+# DL103 — API-surface drift
+# ---------------------------------------------------------------------------
+
+
+class ApiSurfaceRule(DeepRule):
+    """DL103: the code and docs/API.md declare the same stable surface.
+
+    Cross-checks four claims: every module API.md documents exists and
+    snapshots its surface in a literal ``__all__``; every row of a
+    deprecation table still has a live shim (the old name appears in the
+    shim module, typically as the ``__getattr__`` dispatch key); no
+    internal code imports a table's old spelling or calls a deprecated
+    callable (the shims exist for *downstream* callers — internal use
+    means the migration regressed); and every ``*Config`` front door the
+    doc names is a frozen dataclass, because the caching and manifest
+    layers key on config values being immutable.
+    """
+
+    code = "DL103"
+    title = "docs/API.md and the code agree on the stable surface"
+
+    @staticmethod
+    def _has_literal_all(info: ModuleInfo) -> bool:
+        for node in info.tree.body:
+            if (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id == "__all__"
+                    and isinstance(node.value, (ast.List, ast.Tuple))
+                    and all(isinstance(e, ast.Constant)
+                            and isinstance(e.value, str)
+                            for e in node.value.elts)):
+                return True
+        return False
+
+    @staticmethod
+    def _string_literals(info: ModuleInfo) -> set[str]:
+        return {n.value for n in ast.walk(info.tree)
+                if isinstance(n, ast.Constant)
+                and isinstance(n.value, str)}
+
+    @staticmethod
+    def _defined_names(info: ModuleInfo) -> set[str]:
+        out: set[str] = set()
+        for node in ast.walk(info.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                out.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for t in node.targets:
+                    if isinstance(t, ast.Name):
+                        out.add(t.id)
+        out.update(info.imports)
+        return out
+
+    def _check_documented_modules(self, program: ProgramModel,
+                                  api: ApiDoc) -> Iterator[Finding]:
+        for module in sorted(api.documented_modules):
+            line = api.documented_modules[module]
+            info = program.modules.get(module)
+            if info is None:
+                yield self.doc_finding(
+                    api.path, line,
+                    f"documented module '{module}' was not found in the "
+                    f"analyzed tree")
+            elif not self._has_literal_all(info):
+                yield self.doc_finding(
+                    info.path, 1,
+                    f"module '{module}' is documented as stable surface "
+                    f"in API.md but declares no literal __all__ snapshot")
+
+    def _check_shims(self, program: ProgramModel,
+                     api: ApiDoc) -> Iterator[Finding]:
+        for dotted in sorted(api.deprecated):
+            entry = api.deprecated[dotted]
+            info = program.modules.get(entry.module)
+            if info is None:
+                yield self.doc_finding(
+                    api.path, entry.line,
+                    f"deprecation table names '{dotted}' but module "
+                    f"'{entry.module}' was not found")
+                continue
+            leaf = entry.leaf
+            if (leaf not in self._string_literals(info)
+                    and leaf not in self._defined_names(info)):
+                yield self.doc_finding(
+                    api.path, entry.line,
+                    f"documented deprecated name '{dotted}' has no shim "
+                    f"in {entry.module} (removed without updating "
+                    f"API.md?)")
+
+    def _check_internal_use(self, program: ProgramModel,
+                            api: ApiDoc) -> Iterator[Finding]:
+        # Old spellings from the deprecation tables: importing one from
+        # the shim module is the regression (the sanctioned interim
+        # import path, e.g. repro.workloads.services, stays legal).
+        by_module: dict[str, dict[str, str]] = {}
+        for entry in api.deprecated.values():
+            by_module.setdefault(entry.module, {})[entry.leaf] = (
+                entry.replacement)
+        for name in sorted(program.modules):
+            info = program.modules[name]
+            if info.name in by_module:
+                continue
+            for node in ast.walk(info.tree):
+                if isinstance(node, ast.ImportFrom):
+                    base = info._resolve_relative(node.module, node.level)
+                    for alias in node.names:
+                        repl = by_module.get(base, {}).get(alias.name)
+                        if repl is not None:
+                            yield self.at(
+                                info, node, self.code,
+                                f"internal import of deprecated "
+                                f"'{base}.{alias.name}' — use {repl} "
+                                f"(shims are for downstream callers)")
+            for node in ast.walk(info.tree):
+                if isinstance(node, ast.Attribute):
+                    dotted = info.dotted(node)
+                    if dotted is None:
+                        continue
+                    module, _, leaf = dotted.rpartition(".")
+                    repl = by_module.get(module, {}).get(leaf)
+                    if repl is not None:
+                        yield self.at(
+                            info, node, self.code,
+                            f"internal use of deprecated '{dotted}' — "
+                            f"use {repl}")
+        # Deprecated callables ("### Deprecated: `sample_fleet(...)`"):
+        # calling one internally, outside its defining module, regressed.
+        for callee in sorted(api.deprecated_callables):
+            defining = {fn.module
+                        for fn in program.functions_by_name.get(callee, ())}
+            for site in program.calls_by_name.get(callee, ()):
+                if site.module in defining:
+                    continue
+                yield self.at(
+                    program.modules[site.module], site.node, self.code,
+                    f"internal call to deprecated {callee}() "
+                    f"(docs/API.md marks it a downstream-only shim)")
+
+    def _check_frozen_configs(self, program: ProgramModel,
+                              api: ApiDoc) -> Iterator[Finding]:
+        for cls_name in sorted(api.config_classes):
+            for name in sorted(program.modules):
+                info = program.modules[name]
+                for node in ast.walk(info.tree):
+                    if (not isinstance(node, ast.ClassDef)
+                            or node.name != cls_name):
+                        continue
+                    if not self._is_frozen_dataclass(info, node):
+                        yield self.at(
+                            info, node, self.code,
+                            f"{cls_name} is documented as a front-door "
+                            f"config in API.md but is not a frozen "
+                            f"dataclass (configs key caches and "
+                            f"manifests; they must be immutable)")
+
+    @staticmethod
+    def _is_frozen_dataclass(info: ModuleInfo, node: ast.ClassDef) -> bool:
+        for dec in node.decorator_list:
+            if isinstance(dec, ast.Call):
+                dotted = info.dotted(dec.func) or ""
+                if dotted.rpartition(".")[2] == "dataclass":
+                    for kw in dec.keywords:
+                        if (kw.arg == "frozen"
+                                and isinstance(kw.value, ast.Constant)
+                                and kw.value.value is True):
+                            return True
+        return False
+
+    def check(self, program: ProgramModel,
+              contracts: Contracts) -> Iterator[Finding]:
+        api = contracts.api
+        yield from self._check_documented_modules(program, api)
+        yield from self._check_shims(program, api)
+        yield from self._check_internal_use(program, api)
+        yield from self._check_frozen_configs(program, api)
+
+
+# ---------------------------------------------------------------------------
+# DL104 — determinism boundary
+# ---------------------------------------------------------------------------
+
+#: Function names that produce manifests/snapshots — the roots of the
+#: byte-identity contract.
+DETERMINISM_ROOTS = frozenset({
+    "snapshot", "deterministic_view", "to_json", "to_jsonl",
+    "build_manifest", "write_manifest",
+})
+
+
+class DeterminismBoundaryRule(DeepRule):
+    """DL104: nothing order-unstable on a path into a manifest.
+
+    Functions *reachable* from the snapshot/manifest producers (the
+    byte-identity roots: ``snapshot``, ``deterministic_view``,
+    ``to_json``/``to_jsonl``, ``build_manifest``/``write_manifest``)
+    must not iterate a set/frozenset without ``sorted(...)`` and must
+    not call ``id()`` — both launder hash/address order into output
+    that two runs diff byte-for-byte.  This is SL006 escalated from two
+    directories to the whole call graph: a helper three modules away
+    from the manifest writer is held to the same standard, because the
+    reachability — not the directory — is what puts it on the boundary.
+    """
+
+    code = "DL104"
+    title = "no unordered iteration / id() reachable from manifests"
+
+    def _reachable(self, program: ProgramModel) -> list[FunctionInfo]:
+        calls_in: dict[FunctionInfo, list] = {}
+        for site in program.call_sites:
+            if site.enclosing is not None:
+                calls_in.setdefault(site.enclosing, []).append(site)
+        roots = [fn for fns in (program.functions_by_name.get(r, ())
+                                for r in sorted(DETERMINISM_ROOTS))
+                 for fn in fns]
+        seen: set[FunctionInfo] = set()
+        stack = list(roots)
+        while stack:
+            fn = stack.pop()
+            if fn in seen:
+                continue
+            seen.add(fn)
+            for site in calls_in.get(fn, ()):
+                for callee in program.functions_by_name.get(site.callee,
+                                                            ()):
+                    if callee not in seen:
+                        stack.append(callee)
+        return sorted(seen, key=lambda f: (f.module, f.qualname))
+
+    @staticmethod
+    def _is_set_expr(info: ModuleInfo, node: ast.AST,
+                     set_vars: set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = info.dotted(node.func) or ""
+            return dotted.rpartition(".")[2] in ("set", "frozenset")
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return (DeterminismBoundaryRule._is_set_expr(
+                        info, node.left, set_vars)
+                    or DeterminismBoundaryRule._is_set_expr(
+                        info, node.right, set_vars))
+        if isinstance(node, ast.Name):
+            return node.id in set_vars
+        return False
+
+    def _check_function(self, info: ModuleInfo,
+                        fn: FunctionInfo) -> Iterator[Finding]:
+        set_vars: set[str] = set()
+        for node in ast.walk(fn.node):
+            if (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and self._is_set_expr(info, node.value, set_vars)):
+                set_vars.add(node.targets[0].id)
+        iters: list[ast.AST] = []
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "id"
+                    and len(node.args) == 1):
+                yield self.at(
+                    info, node, self.code,
+                    f"id() in {fn.qualname}(), which is reachable from "
+                    f"a manifest/snapshot producer — addresses vary "
+                    f"per process and break byte-identity")
+        for it in iters:
+            if self._is_set_expr(info, it, set_vars):
+                yield self.at(
+                    info, it, self.code,
+                    f"set iteration in {fn.qualname}(), which is "
+                    f"reachable from a manifest/snapshot producer — "
+                    f"wrap the iterable in sorted(...)")
+
+    def check(self, program: ProgramModel,
+              contracts: Contracts) -> Iterator[Finding]:
+        for fn in self._reachable(program):
+            info = program.modules[fn.module]
+            yield from self._check_function(info, fn)
+
+
+#: The shipped deep-pass set, in code order.
+DEEP_RULES = (
+    TelemetryContractRule(),
+    RngStreamRule(),
+    ApiSurfaceRule(),
+    DeterminismBoundaryRule(),
+)
+
+
+def deep_rule_catalogue() -> list[tuple[str, str, str]]:
+    """``(code, title, doc)`` for every shipped deep pass."""
+    out = []
+    for rule in DEEP_RULES:
+        doc = (rule.__doc__ or "").strip().splitlines()[0]
+        out.append((rule.code, rule.title, doc))
+    return out

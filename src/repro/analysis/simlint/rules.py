@@ -95,16 +95,43 @@ class SeededRandomRule(Rule):
     state: any import-order or worker-count change reshuffles every
     draw.  ``random.Random(seed)`` instances are the only sanctioned
     source; creating one unseeded, or at module level (import-time
-    global state), is equally flagged.
+    global state), is equally flagged.  The constructor is tracked
+    through every local spelling: ``import random``, ``from random
+    import Random`` (with or without ``as``), and module-level factory
+    aliases like ``_factory = random.Random``.
     """
 
     code = "SL002"
     title = "no module-level or unseeded random"
 
+    @staticmethod
+    def _assignment_aliases(ctx: FileContext,
+                            aliases: dict[str, str]) -> dict[str, str]:
+        """Module-level ``NAME = random.Random`` factory aliases, with
+        the right-hand side itself resolved through *aliases* — calls
+        through NAME are Random() calls wearing a different hat."""
+        out: dict[str, str] = {}
+        for node in ctx.tree.body:
+            if not (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                continue
+            name = dotted_name(node.value)
+            if name is None:
+                continue
+            root, _, rest = name.partition(".")
+            expanded = aliases.get(root)
+            if expanded is not None:
+                name = f"{expanded}.{rest}" if rest else expanded
+            if name == "random.Random":
+                out[node.targets[0].id] = "random.Random"
+        return out
+
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         aliases = import_aliases(ctx.tree, ("random",))
         if not aliases:
             return
+        aliases = {**aliases, **self._assignment_aliases(ctx, aliases)}
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue

@@ -17,6 +17,8 @@ Examples::
     python -m repro metrics run.json      # pretty-print one manifest
     python -m repro metrics a.json b.json # diff two runs
     python -m repro lint src/repro        # determinism/invariant linter
+    python -m repro lint --deep --strict src/repro  # + whole-program passes
+    python -m repro lint --deep --sarif out.sarif src/repro
     python -m repro lint --json --list-rules
     python -m repro hwcost                # metadata-table cost model
     python -m repro experiment list       # registered experiment specs
@@ -414,7 +416,9 @@ def _cmd_autotune(args) -> None:
 
 def _cmd_lint(args) -> None:
     import os
+    import sys
 
+    from .analysis import deeplint
     from .analysis.simlint import (
         lint_paths,
         render_json,
@@ -423,6 +427,21 @@ def _cmd_lint(args) -> None:
     )
 
     if args.list_rules:
+        if args.deep:
+            catalogue = deeplint.full_rule_catalogue()
+            if args.json:
+                import json
+
+                print(json.dumps(
+                    [{"code": c, "title": t, "summary": s}
+                     for c, t, s in catalogue], indent=2))
+            else:
+                print(format_table(
+                    ["Rule", "Contract"],
+                    [(code, title) for code, title, _ in catalogue],
+                    title="simlint + deeplint rule catalogue "
+                          "(docs/ANALYSIS.md)"))
+            return
         if args.json:
             import json
 
@@ -439,8 +458,46 @@ def _cmd_lint(args) -> None:
     # works from any working directory.
     paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
     findings = lint_paths(paths)
-    print(render_json(findings) if args.json else render_text(findings))
-    if findings:
+    baseline = None
+    baseline_path = args.baseline
+    if args.deep:
+        try:
+            root = deeplint.find_contract_root(paths, args.docs)
+            findings.extend(deeplint.deep_lint_paths(paths,
+                                                     docs_dir=args.docs))
+        except deeplint.DeepLintError as exc:
+            raise SystemExit(f"repro lint: {exc}")
+        findings.sort()
+        if baseline_path is None:
+            baseline_path = os.path.join(root, ".deeplint-baseline.json")
+        if args.write_baseline:
+            deeplint.write_baseline(baseline_path, findings)
+            print(f"wrote {len(findings)} suppression(s) to "
+                  f"{baseline_path}")
+            return
+        if os.path.isfile(baseline_path):
+            try:
+                baseline = deeplint.load_baseline(baseline_path)
+            except deeplint.BaselineError as exc:
+                raise SystemExit(f"repro lint: {exc}")
+    active, _suppressed, stale = deeplint.apply_baseline(findings,
+                                                         baseline)
+    if args.sarif:
+        document = deeplint.render_sarif(
+            findings, deeplint.full_rule_catalogue(),
+            baseline.fingerprints if baseline else frozenset())
+        if args.sarif == "-":
+            print(document, end="")
+        else:
+            with open(args.sarif, "w", encoding="utf-8") as fh:
+                fh.write(document)
+    if args.sarif != "-":
+        print(render_json(active) if args.json else render_text(active))
+    for entry in stale:
+        print(f"simlint: stale baseline entry {entry['rule']} "
+              f"{entry['path']}: {entry['message']!r} matches nothing — "
+              f"delete it from {baseline_path}", file=sys.stderr)
+    if active or (args.strict and stale):
         raise SystemExit(1)
 
 
@@ -737,13 +794,36 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.set_defaults(fn=_cmd_metrics)
 
     lint = sub.add_parser(
-        "lint", help="determinism & invariant static analysis (simlint)",
+        "lint", help="determinism & invariant static analysis "
+                     "(simlint + deeplint)",
         parents=[_common_options(json_flag=True)])
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files/directories to lint (default: the "
                            "installed repro package)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
+    lint.add_argument("--deep", action="store_true",
+                      help="also run the whole-program passes "
+                           "(DL101-DL104) against docs/OBSERVABILITY.md "
+                           "and docs/API.md")
+    lint.add_argument("--strict", action="store_true",
+                      help="with --deep: also fail on stale baseline "
+                           "entries, keeping the suppression file "
+                           "honest")
+    lint.add_argument("--sarif", metavar="PATH",
+                      help="write findings as SARIF 2.1.0 to PATH "
+                           "('-' for stdout)")
+    lint.add_argument("--baseline", metavar="PATH",
+                      help="baseline suppression file (default with "
+                           "--deep: .deeplint-baseline.json at the "
+                           "contract root)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="with --deep: suppress every current finding "
+                           "into the baseline file and exit")
+    lint.add_argument("--docs", metavar="DIR",
+                      help="directory holding OBSERVABILITY.md/API.md "
+                           "(default: discovered by walking up from the "
+                           "linted paths)")
     lint.set_defaults(fn=_cmd_lint)
 
     experiment = sub.add_parser(

@@ -103,9 +103,14 @@ class ServerScan:
         )
 
 
-@dataclass
+@dataclass(frozen=True)
 class ServerConfig:
-    """Fleet-server knobs (defaults give a fast, representative sample)."""
+    """Fleet-server knobs (defaults give a fast, representative sample).
+
+    Frozen like the other front-door configs (docs/API.md): scans are
+    keyed and cached by config values, so a config must not drift after
+    a server has been built from it.
+    """
 
     #: 1 GiB machines so the paper's 1 GiB scan granularity is meaningful
     #: (the paper samples 64 GiB hosts; policies scale with size).

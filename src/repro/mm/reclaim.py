@@ -55,7 +55,10 @@ class ReclaimLRU:
     """
 
     def __init__(self, stat) -> None:
-        self._lru: OrderedDict[int, PageHandle] = OrderedDict()
+        # Keyed by the handle itself (identity hash): insertion order is
+        # the recency order, and no address-derived int exists to leak
+        # into output.
+        self._lru: OrderedDict[PageHandle, None] = OrderedDict()
         self._stat = stat
 
     def __len__(self) -> int:
@@ -63,17 +66,16 @@ class ReclaimLRU:
 
     def register(self, handle: PageHandle) -> None:
         """Add a reclaimable allocation (most-recently-used position)."""
-        self._lru[id(handle)] = handle
+        self._lru[handle] = None
 
     def touch(self, handle: PageHandle) -> None:
         """Mark as recently used."""
-        key = id(handle)
-        if key in self._lru:
-            self._lru.move_to_end(key)
+        if handle in self._lru:
+            self._lru.move_to_end(handle)
 
     def forget(self, handle: PageHandle) -> None:
         """Remove without freeing (owner freed it explicitly)."""
-        self._lru.pop(id(handle), None)
+        self._lru.pop(handle, None)
 
     def reclaim(
         self,
@@ -84,7 +86,7 @@ class ReclaimLRU:
         (or the LRU empties).  Returns frames actually freed."""
         freed = 0
         while freed < target_frames and self._lru:
-            _, handle = self._lru.popitem(last=False)
+            handle, _ = self._lru.popitem(last=False)
             if handle.freed:
                 continue
             freed += handle.nframes

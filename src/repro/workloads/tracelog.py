@@ -59,7 +59,9 @@ class TraceRecorder:
     def __init__(self, kernel) -> None:
         self.kernel = kernel
         self.events: list[TraceEvent] = []
-        self._ids: dict[int, int] = {}  # id(handle) -> trace id
+        # Keyed by the handle itself (identity hash) so trace ids are
+        # dense sequence numbers with no address in sight.
+        self._ids: dict[object, int] = {}
         self._next = 0
 
     def alloc_pages(self, order: int = 0,
@@ -72,7 +74,7 @@ class TraceRecorder:
             pinned=pinned, reclaimable=reclaimable, **kwargs)
         obj = self._next
         self._next += 1
-        self._ids[id(handle)] = obj
+        self._ids[handle] = obj
         self.events.append(TraceEvent(
             op="alloc", obj=obj, order=order, source=int(source),
             migratetype=None if migratetype is None else int(migratetype),
@@ -80,7 +82,7 @@ class TraceRecorder:
         return handle
 
     def free_pages(self, handle) -> None:
-        obj = self._ids.pop(id(handle), None)
+        obj = self._ids.pop(handle, None)
         if obj is None:
             raise ReproError("freeing a handle the recorder never saw")
         self.kernel.free_pages(handle)
@@ -89,12 +91,12 @@ class TraceRecorder:
     def pin_pages(self, handle) -> None:
         self.kernel.pin_pages(handle)
         self.events.append(TraceEvent(op="pin",
-                                      obj=self._ids[id(handle)]))
+                                      obj=self._ids[handle]))
 
     def unpin_pages(self, handle) -> None:
         self.kernel.unpin_pages(handle)
         self.events.append(TraceEvent(op="unpin",
-                                      obj=self._ids[id(handle)]))
+                                      obj=self._ids[handle]))
 
     def advance(self, dt: int = 1000) -> None:
         self.kernel.advance(dt)

@@ -1,0 +1,1 @@
+"""deeplint clean fixture package: zero deep findings by design."""

@@ -1,0 +1,24 @@
+"""A package that satisfies every deep-pass contract."""
+
+import random
+
+__all__ = ["run"]
+
+
+def tracepoint(name):
+    return name
+
+
+class MetricsRegistry:
+    def inc(self, name, value=1):
+        return name
+
+
+TP_PING = tracepoint("pkg.ping")
+metrics = MetricsRegistry()
+
+
+def run(seed):
+    metrics.inc("pkg.ops")
+    rng = random.Random(f"core:run:{seed}")
+    return rng.random()

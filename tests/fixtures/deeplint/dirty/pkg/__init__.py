@@ -1,0 +1,1 @@
+"""deeplint fixture package: every DL rule has a seeded violation."""

@@ -1,0 +1,19 @@
+"""The fixture's documented stable surface (shim module)."""
+
+__all__ = ["get_new", "old_helper"]
+
+_DEPRECATED = {"OLD": "get_new"}
+
+
+def get_new():
+    return 1
+
+
+def old_helper():
+    return get_new()
+
+
+def __getattr__(name):
+    if name in _DEPRECATED:
+        return get_new()
+    raise AttributeError(name)

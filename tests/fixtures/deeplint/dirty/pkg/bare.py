@@ -1,0 +1,3 @@
+"""Documented in API.md but snapshots no __all__ (DL103 seed)."""
+
+VALUE = 3

@@ -1,0 +1,8 @@
+"""A documented front-door config that is not frozen (DL103 seed)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FrontConfig:
+    knob: int = 1

@@ -1,0 +1,18 @@
+"""Seeded DL104 violations on the snapshot-reachable path."""
+
+
+def snapshot(state):
+    return _render(state)
+
+
+def _render(values):
+    tags = set(values)
+    rows = [t for t in tags]
+    token = id(values)
+    for t in {1, 2}:  # simlint: disable=DL104
+        rows.append(t)
+    return rows, token
+
+
+def unrelated(values):
+    return [t for t in set(values)]

@@ -1,0 +1,22 @@
+"""Seeded DL102 violations: malformed stream names and an escape."""
+
+import random
+
+
+def make_plain(seed):
+    return random.Random(f"streams:svc:{seed}").random()
+
+
+def make_bad(seed):
+    rng = random.Random("nocolons")
+    return rng.random()
+
+
+def make_hushed(seed):
+    rng = random.Random("hush")  # simlint: disable=DL102
+    return rng.random()
+
+
+def leak(seed):
+    rng = random.Random(f"streams:leak:{seed}")
+    return rng

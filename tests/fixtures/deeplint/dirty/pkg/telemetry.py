@@ -1,0 +1,16 @@
+"""Seeded DL101 violations: undocumented, mismatched, allowlisted."""
+
+from .lib import MetricsRegistry, tracepoint
+
+TP_GOOD = tracepoint("pkg.good")
+TP_ROGUE = tracepoint("pkg.rogue")
+TP_HUSHED = tracepoint("pkg.hushed")  # simlint: disable=DL101
+
+metrics = MetricsRegistry()
+
+
+def emit(cls):
+    metrics.inc("pkg.count")
+    metrics.inc("pkg.mismatch")
+    metrics.inc("pkg.unlisted")
+    metrics.histogram(f"pkg.latency.{cls}")

@@ -1,0 +1,9 @@
+"""Seeded DL103 violations: internal use of the deprecated surface."""
+
+from .api import OLD, old_helper
+
+
+def use():
+    first = old_helper()
+    second = old_helper()  # simlint: disable=DL103
+    return OLD, first, second

@@ -147,6 +147,31 @@ class TestExportSnapshots:
             for name in mod.__all__:
                 assert hasattr(mod, name), f"{mod.__name__}.{name}"
 
+    def test_lint_rule_ids_pinned(self):
+        # The analysis rule set is surface too: CI gates, baselines,
+        # and SARIF consumers key on these IDs.  Adding or removing a
+        # rule must update this snapshot, docs/ANALYSIS.md, and the
+        # fixture coverage in tests/test_deeplint.py together.
+        from repro.analysis.deeplint import full_rule_catalogue
+
+        assert [code for code, _, _ in full_rule_catalogue()] == [
+            "SL000",
+            "SL001",
+            "SL002",
+            "SL003",
+            "SL004",
+            "SL005",
+            "SL006",
+            "SL007",
+            "SL008",
+            "SL009",
+            "DL100",
+            "DL101",
+            "DL102",
+            "DL103",
+            "DL104",
+        ]
+
 
 class TestFrontDoor:
     def test_run_fleet_takes_config_returns_sample(self):

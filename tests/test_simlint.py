@@ -115,6 +115,57 @@ class TestSeededRandomSL002:
         """
         assert "SL002" in rules_of(src)
 
+    def test_from_import_unseeded_flagged(self):
+        src = """
+            from random import Random
+
+            def make_rng():
+                return Random()
+        """
+        assert "SL002" in rules_of(src)
+
+    def test_from_import_as_alias_unseeded_flagged(self):
+        src = """
+            from random import Random as R
+
+            def make_rng():
+                return R()
+        """
+        assert "SL002" in rules_of(src)
+
+    def test_assignment_factory_alias_unseeded_flagged(self):
+        src = """
+            import random
+
+            _factory = random.Random
+
+            def make_rng():
+                return _factory()
+        """
+        assert "SL002" in rules_of(src)
+
+    def test_assignment_factory_alias_of_from_import_flagged(self):
+        src = """
+            from random import Random
+
+            _factory = Random
+
+            def make_rng():
+                return _factory()
+        """
+        assert "SL002" in rules_of(src)
+
+    def test_assignment_factory_alias_seeded_in_function_clean(self):
+        src = """
+            import random
+
+            _factory = random.Random
+
+            def make_rng(seed):
+                return _factory(f"site:purpose:{seed}")
+        """
+        assert "SL002" not in rules_of(src)
+
 
 class TestTracepointGuardSL003:
     def test_unguarded_emit_with_kwargs_flagged(self):
