@@ -1,4 +1,4 @@
-"""The simlint rule catalogue (SL001–SL009).
+"""The simlint rule catalogue (SL001–SL010).
 
 Each rule is a small class with a ``check(ctx)`` generator yielding
 :class:`~repro.analysis.simlint.core.Finding` objects.  Rules encode the
@@ -506,6 +506,90 @@ class PerFrameObjectRule(Rule):
                         f"...) and build objects at the API boundary")
 
 
+#: Subsystems whose file writes are durable artifacts — result caches,
+#: checkpoints, manifests — that a reader (or a resumed run) may load
+#: after a crash (SL010).
+DURABLE_OUTPUT_SUBSYSTEMS = ("checkpoint", "experiments", "telemetry")
+
+
+class AtomicDurableWriteRule(Rule):
+    """SL010: durable result/checkpoint writes must be atomic.
+
+    The crash-recovery contract (docs/ROBUSTNESS.md) says a reader never
+    observes a half-written cache entry, checkpoint, or manifest: writes
+    stage to a temp file in the same directory and publish with a single
+    ``os.replace``.  A bare ``open(path, "w")`` in the ``checkpoint`` /
+    ``experiments`` / ``telemetry`` subsystems leaves a truncation
+    window exactly where the durability machinery lives, so this rule
+    flags any write-mode ``open`` whose enclosing scope never calls
+    ``os.replace``.  A deliberate streaming sink (e.g. a live JSONL
+    event stream that readers tail mid-run) is acknowledged with
+    ``# simlint: disable=SL010``.
+    """
+
+    code = "SL010"
+    title = "durable writes must stage + os.replace"
+
+    _WRITE_CHARS = ("w", "a", "x", "+")
+
+    @classmethod
+    def _write_mode(cls, call: ast.Call) -> bool:
+        """Whether this ``open`` call opens for writing (constant mode
+        containing w/a/x/+; non-constant modes are skipped — the rule
+        is a reviewer, not a prover)."""
+        mode = None
+        if len(call.args) >= 2:
+            mode = call.args[1]
+        for kw in call.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if not (isinstance(mode, ast.Constant)
+                and isinstance(mode.value, str)):
+            return False
+        return any(ch in mode.value for ch in cls._WRITE_CHARS)
+
+    def _enclosing_scope(self, ctx: FileContext, node: ast.AST) -> ast.AST:
+        for parent in ctx.parents(node):
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return parent
+        return ctx.tree
+
+    @staticmethod
+    def _calls_replace(scope: ast.AST,
+                       aliases: dict[str, str]) -> bool:
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call(node, aliases)
+            if name == "os.replace":
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_subsystem(*DURABLE_OUTPUT_SUBSYSTEMS):
+            return
+        if ctx.is_test_file():
+            return
+        aliases = import_aliases(ctx.tree, ("os", "io"))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call(node, aliases) or dotted_name(node.func)
+            if name not in ("open", "io.open"):
+                continue
+            if not self._write_mode(node):
+                continue
+            scope = self._enclosing_scope(ctx, node)
+            if self._calls_replace(scope, aliases):
+                continue
+            yield self.finding(
+                ctx, node,
+                "write-mode open() in a durable-output subsystem "
+                "without os.replace in the enclosing scope; stage to a "
+                "tempfile in the target directory and publish with "
+                "os.replace (see experiments.cache / checkpoint.format)")
+
+
 #: The shipped rule set, in code order.
 DEFAULT_RULES = (
     WallClockRule(),
@@ -517,6 +601,7 @@ DEFAULT_RULES = (
     DeprecatedApiRule(),
     BoundedRetryRule(),
     PerFrameObjectRule(),
+    AtomicDurableWriteRule(),
 )
 
 

@@ -1,0 +1,71 @@
+"""Restoring simulator state safely, and crashing it on purpose.
+
+A checkpoint payload is a pickled object graph (kernel, workload,
+recorders, RNG streams).  Pickle restores the *data* faithfully — the
+SoA columns, the freelist links, every ``random.Random`` state — but
+two things need explicit help after ``pickle.loads``:
+
+* the tracepoint registry holds the simulated clock through a weakref
+  that is never pickled, so the restored kernel must be re-registered
+  with :func:`repro.telemetry.set_sim_clock`;
+* trust: a checkpoint that passed the envelope checksum can still have
+  been written by a buggy (or memory-corrupted) producer, so restore
+  reruns the PR 3 sanitizer sweep — the freelist link-walk plus the
+  whole-kernel accounting audit — before the run continues.
+
+:func:`maybe_crash` is the other half of the crash-recovery harness:
+wired at checkpoint boundaries, it lets the ``sim.crash`` fault site
+kill a run with :class:`SimCrashError` exactly where a SIGKILL would
+land, so tests and CI can assert bit-identical recovery.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimCrashError
+from ..faults import fault_site
+from ..telemetry import set_sim_clock
+
+_fs_crash = fault_site("sim.crash")
+
+
+def reattach_kernel(kernel) -> None:
+    """Re-register a freshly unpickled kernel as the simulated clock.
+
+    ``LinuxKernel.__init__`` does this for new kernels; unpickling
+    bypasses ``__init__``-side effects on process-global registries.
+    """
+    set_sim_clock(kernel)
+
+
+def verify_restored(kernel) -> None:
+    """Sanitize a restored kernel before the run continues.
+
+    Runs ``FreelistStore.check_invariants`` (every list's link sweep)
+    and ``kernel.check_consistency()`` (``verify_kernel``: occupancy
+    bitmaps, per-migratetype accounting, global free counts).
+
+    Raises:
+        SimInvariantError: the checkpoint decoded cleanly but encodes a
+            state the simulator itself considers impossible.
+    """
+    kernel.mem.freelists.check_invariants()
+    kernel.check_consistency()
+
+
+def restore_kernel(kernel) -> None:
+    """Full post-unpickle sequence: reattach the clock, then sanitize."""
+    reattach_kernel(kernel)
+    verify_restored(kernel)
+
+
+def maybe_crash(step: int, kind: str = "run") -> None:
+    """Give the ``sim.crash`` fault site one shot at killing the run.
+
+    Called at checkpoint boundaries (right after a checkpoint write
+    attempt).  Raises :class:`SimCrashError` when the site fires; a
+    no-op otherwise, including when no plan is installed.
+    """
+    if _fs_crash.armed and _fs_crash.fire(step=step, kind=kind):
+        raise SimCrashError(
+            f"injected sim.crash at {kind} checkpoint boundary, "
+            f"step {step}")

@@ -1,0 +1,54 @@
+"""Deadline watchdog: a run that stops checkpointing is hung.
+
+The watchdog is deliberately outside the simulated-time discipline
+(``checkpoint/`` is not a sim-time subsystem): a hung run, by
+definition, stops advancing simulated time, so the only usable signal
+is wall-clock staleness of its checkpoint file.  The clock is
+injectable so tests never sleep.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable
+
+#: Default staleness threshold before a run is declared hung.
+DEFAULT_DEADLINE_S = 600.0
+
+
+class DeadlineWatchdog:
+    """Judge one checkpoint file's freshness against a deadline.
+
+    Args:
+        path: the checkpoint file a live run keeps rewriting.
+        deadline_s: maximum tolerated age in seconds.
+        clock: wall-clock source, injectable for tests.
+    """
+
+    def __init__(self, path: str | os.PathLike,
+                 deadline_s: float = DEFAULT_DEADLINE_S,
+                 clock: Callable[[], float] = time.time) -> None:
+        self.path = str(path)
+        self.deadline_s = float(deadline_s)
+        self._clock = clock
+
+    def age_s(self) -> float | None:
+        """Seconds since the file was last rewritten; None if missing."""
+        try:
+            mtime = os.stat(self.path).st_mtime
+        except FileNotFoundError:
+            return None
+        return max(0.0, self._clock() - mtime)
+
+    def status(self) -> str:
+        """``"ok"``, ``"hung"`` (stale beyond deadline) or ``"missing"``."""
+        age = self.age_s()
+        if age is None:
+            return "missing"
+        return "hung" if age > self.deadline_s else "ok"
+
+    def describe(self) -> dict:
+        """Status dict for ``repro checkpoint inspect``."""
+        return {"path": self.path, "deadline_s": self.deadline_s,
+                "age_s": self.age_s(), "status": self.status()}

@@ -171,12 +171,25 @@ def _cmd_fleet(args) -> None:
         server=ServerConfig(mem_bytes=MiB(args.mem_mib)),
         base_seed=args.seed, workers=args.workers,
         chunk_size=args.chunk_size, telemetry=telemetry)
+    every, ckdir, resume = _checkpoint_args(args, "fleet")
     if args.progress:
         with tracing("fleet.server.*",
                      sink=_ProgressSink(args.servers)):
-            fleet = run_fleet(config)
+            fleet = run_fleet(config, checkpoint_every=every,
+                              checkpoint_dir=ckdir, resume=resume)
     else:
-        fleet = run_fleet(config)
+        fleet = run_fleet(config, checkpoint_every=every,
+                          checkpoint_dir=ckdir, resume=resume)
+    _print_fleet_sample(fleet, args.servers)
+    if args.events:
+        print(f"trace events written to {args.events}")
+    if args.manifest:
+        print(f"run manifest written to {args.manifest}")
+
+
+def _print_fleet_sample(fleet, n_servers: int) -> None:
+    """The fleet-survey table (shared by ``fleet`` and a ``fleet``-kind
+    ``checkpoint resume``, so both render identically)."""
     rows = [
         (gran,
          percent(fleet.fraction_without_any(gran), 0),
@@ -186,13 +199,42 @@ def _cmd_fleet(args) -> None:
     print(format_table(
         ["Granularity", "Servers w/o free block",
          "Median unmovable blocks"],
-        rows, title=f"Fleet survey over {args.servers} servers"))
+        rows, title=f"Fleet survey over {n_servers} servers"))
     print(f"\nPearson(uptime, free 2MB blocks) = "
           f"{fleet.uptime_correlation():+.3f}")
-    if args.events:
-        print(f"trace events written to {args.events}")
-    if args.manifest:
-        print(f"run manifest written to {args.manifest}")
+
+
+def _checkpoint_args(args, name: str) -> tuple[int, str | None, bool]:
+    """(checkpoint_every, checkpoint_dir, resume) from the shared
+    ``--checkpoint-every`` / ``--checkpoint-dir`` / ``--resume-from``
+    flags.
+
+    ``--resume-from DIR`` names the directory *and* asks for
+    resumption; without an explicit cadence the one recorded in the
+    checkpoint's own header is reused, so resuming continues exactly as
+    the killed run was configured.  ``--checkpoint-dir`` alone defaults
+    to checkpointing every unit of work.
+    """
+    resume = args.resume_from is not None
+    ckdir = args.resume_from or args.checkpoint_dir
+    every = args.checkpoint_every
+    if resume and not every:
+        every = _recorded_cadence(ckdir, name)
+    if ckdir is not None and not every:
+        every = 1
+    return every, ckdir, resume
+
+
+def _recorded_cadence(ckdir: str, name: str) -> int:
+    """The ``checkpoint_every`` the interrupted run recorded in its
+    envelope header (header-only read: never unpickles)."""
+    from .checkpoint import CheckpointStore
+
+    for desc in CheckpointStore(ckdir, name).inspect()["generations"]:
+        meta = desc.get("meta") or {}
+        if "checkpoint_every" in meta:
+            return int(meta["checkpoint_every"])
+    return 1
 
 
 def _cmd_loadgen(args) -> None:
@@ -214,7 +256,9 @@ def _cmd_loadgen(args) -> None:
         seed=args.seed,
         telemetry=telemetry,
     )
-    result = run_loadgen(config)
+    every, ckdir, resume = _checkpoint_args(args, "loadgen")
+    result = run_loadgen(config, checkpoint_every=every,
+                         checkpoint_dir=ckdir, resume=resume)
     if args.json:
         import json
 
@@ -583,11 +627,15 @@ def _cmd_experiment_list(args) -> None:
 def _cmd_experiment_run(args) -> None:
     from .experiments import run_experiment
 
+    # --resume-from alone implies per-unit checkpointing: the point of
+    # naming a directory is continuing the killed cell from it.
+    every = args.checkpoint_every or (1 if args.resume_from else 0)
     result = run_experiment(
         args.name, overrides=_parse_sets(args.set), seed=args.seed,
         workers=args.workers, plan=_resolve_plan(args.plan),
         cache=_experiment_cache(args), force=args.force,
-        manifest_path=args.manifest)
+        manifest_path=args.manifest,
+        checkpoint_every=every, checkpoint_dir=args.resume_from)
     _print_experiment(result, args.json)
     if args.manifest:
         import sys
@@ -604,7 +652,8 @@ def _cmd_experiment_sweep(args) -> None:
         args.name, overrides=_parse_sets(args.set), seed=args.seed,
         workers=args.workers, plan=_resolve_plan(args.plan),
         cache=_experiment_cache(args), force=args.force,
-        manifest_path=args.manifest)
+        manifest_path=args.manifest,
+        checkpoint_every=args.checkpoint_every)
     counters = sweep.manifest["counters"]
     print(f"# sweep {args.name}: {len(sweep.results)} cells, "
           f"{sweep.n_cached} cached, "
@@ -641,6 +690,167 @@ def _cmd_experiment_report(args) -> None:
             f"no cached result for {args.name!r} with this config/seed; "
             f"run `repro experiment run {args.name}` first")
     _print_experiment(result, args.json)
+
+
+def _store_names(directory: str) -> list[str]:
+    """Checkpoint store names under *directory* (one per ``*.ckpt``,
+    staging temp files excluded)."""
+    import os
+
+    from .checkpoint import CheckpointStore
+
+    try:
+        entries = os.listdir(directory)
+    except (FileNotFoundError, NotADirectoryError):
+        raise SystemExit(
+            f"repro: no such checkpoint directory: {directory!r}")
+    suffix = CheckpointStore.SUFFIX
+    return sorted(entry[:-len(suffix)] for entry in entries
+                  if entry.endswith(suffix)
+                  and not entry.startswith(".tmp-"))
+
+
+def _cmd_checkpoint_inspect(args) -> None:
+    import json
+
+    from .checkpoint import (
+        DEFAULT_DEADLINE_S,
+        CheckpointStore,
+        DeadlineWatchdog,
+    )
+
+    names = _store_names(args.dir)
+    if not names:
+        raise SystemExit(
+            f"repro: no checkpoints (*{CheckpointStore.SUFFIX}) "
+            f"under {args.dir!r}")
+    deadline = (DEFAULT_DEADLINE_S if args.deadline is None
+                else args.deadline)
+    reports = []
+    for name in names:
+        store = CheckpointStore(args.dir, name)
+        watchdog = DeadlineWatchdog(store.current_path,
+                                    deadline_s=deadline)
+        reports.append({**store.inspect(),
+                        "watchdog": watchdog.describe()})
+    if args.json:
+        print(json.dumps(reports, indent=2, sort_keys=True))
+        return
+    rows = []
+    for report in reports:
+        for generation, desc in zip(("current", "previous"),
+                                    report["generations"]):
+            rows.append((report["name"], generation, desc["status"],
+                         str(desc.get("step", "-")),
+                         desc.get("kind", "-"),
+                         str(desc.get("size", "-"))))
+    print(format_table(
+        ["Store", "Generation", "Status", "Step", "Kind", "Bytes"],
+        rows, title=f"Checkpoints under {args.dir}"))
+    for report in reports:
+        wd = report["watchdog"]
+        age = ("-" if wd["age_s"] is None
+               else f"{wd['age_s']:.0f}s old")
+        print(f"\n{report['name']}: watchdog {wd['status']} "
+              f"({age}, deadline {wd['deadline_s']:.0f}s)")
+
+
+def _with_manifest_path(config, path: str):
+    """*config* with its telemetry rewritten to emit a manifest at
+    *path* — so a resumed run can land its proof-of-identity manifest
+    wherever CI wants it, without re-spelling the whole config."""
+    from dataclasses import replace
+
+    from .telemetry import TelemetryConfig
+
+    if not hasattr(config, "telemetry"):
+        raise SystemExit(
+            "repro: --manifest is not supported for this checkpoint "
+            "kind (its config carries no telemetry)")
+    telemetry = config.telemetry
+    telemetry = (TelemetryConfig(manifest_path=path)
+                 if telemetry is None
+                 else replace(telemetry, manifest_path=path))
+    return replace(config, telemetry=telemetry)
+
+
+def _cmd_checkpoint_resume(args) -> None:
+    import json
+    import sys
+
+    from .checkpoint import CheckpointStore
+    from .errors import CheckpointError
+
+    names = _store_names(args.dir)
+    if not names:
+        raise SystemExit(
+            f"repro: no checkpoints (*{CheckpointStore.SUFFIX}) "
+            f"under {args.dir!r}")
+    name = args.name or (names[0] if len(names) == 1 else None)
+    if name is None:
+        raise SystemExit(
+            f"repro: several checkpoint stores under {args.dir!r} "
+            f"({', '.join(names)}); pick one with --name")
+    if name not in names:
+        raise SystemExit(
+            f"repro: no checkpoint store {name!r} under {args.dir!r}; "
+            f"present: {', '.join(names)}")
+    store = CheckpointStore(args.dir, name)
+    try:
+        ckpt = store.load_latest()
+    except CheckpointError as exc:
+        raise SystemExit(f"repro: {exc}")
+    if ckpt is None:
+        raise SystemExit(
+            f"repro: store {name!r} under {args.dir!r} has no valid "
+            f"generations")
+    config = (ckpt.payload.get("config")
+              if isinstance(ckpt.payload, dict) else None)
+    if config is None:
+        raise SystemExit(
+            f"repro: {ckpt.path} carries no embedded config; resume it "
+            f"through the original entry point's --resume-from instead")
+    every = args.checkpoint_every \
+        or int(ckpt.meta.get("checkpoint_every", 1))
+    if args.manifest:
+        config = _with_manifest_path(config, args.manifest)
+    print(f"# resuming {ckpt.kind} from step {ckpt.step} ({ckpt.path})",
+          file=sys.stderr)
+
+    kw = dict(checkpoint_every=every, checkpoint_dir=args.dir,
+              resume=True)
+    if ckpt.kind == "fleet-survey":
+        from .fleet import survey_fleet
+
+        out = survey_fleet(config, **kw).snapshot()
+    elif ckpt.kind == "fleet":
+        from .fleet import run_fleet
+
+        sample = run_fleet(config, **kw)
+        _print_fleet_sample(sample, config.n_servers)
+        out = None
+    elif ckpt.kind == "loadgen":
+        from .workloads.tracegen import run_loadgen
+
+        result = run_loadgen(config, **kw)
+        out = {"requests": result.requests,
+               "windows_seen": result.windows_seen,
+               "spikes": result.spikes,
+               "achieved_rps": round(result.achieved_rps, 3),
+               "rows": result.rows()}
+    elif ckpt.kind == "workload":
+        from .workloads import run_workload
+
+        out = run_workload(config, **kw).snapshot()
+    else:
+        raise SystemExit(
+            f"repro: don't know how to resume checkpoint kind "
+            f"{ckpt.kind!r}")
+    if out is not None:
+        print(json.dumps(out, indent=2, sort_keys=True))
+    if args.manifest:
+        print(f"# run manifest written to {args.manifest}",
+              file=sys.stderr)
 
 
 def _workers_arg(value: str) -> int:
@@ -687,6 +897,26 @@ def _common_options(*, seed=_OMIT, workers: bool = False,
     return parent
 
 
+def _checkpoint_options() -> argparse.ArgumentParser:
+    """Parent parser for the durable-checkpoint flags, so ``fleet`` and
+    ``loadgen`` spell ``--checkpoint-every`` / ``--checkpoint-dir`` /
+    ``--resume-from`` identically."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="checkpoint every N units of work (0 = off; default when "
+             "a checkpoint directory is named: 1)")
+    parent.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="directory for the two-generation checkpoint files")
+    parent.add_argument(
+        "--resume-from", metavar="DIR", default=None,
+        help="resume from the last good checkpoint in DIR (implies "
+             "--checkpoint-dir DIR; cadence defaults to the one the "
+             "interrupted run recorded)")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -714,7 +944,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     fleet = sub.add_parser(
         "fleet", help="fleet fragmentation survey",
-        parents=[_common_options(seed=0, workers=True, manifest=True)])
+        parents=[_common_options(seed=0, workers=True, manifest=True),
+                 _checkpoint_options()])
     fleet.add_argument("--servers", type=int, default=6,
                        help="fleet size (validated against available "
                             "memory before any worker starts)")
@@ -765,7 +996,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     loadgen = sub.add_parser(
         "loadgen", help="open-loop tail-latency burst (§5.3)",
-        parents=[_common_options(seed=0, manifest=True, json_flag=True)])
+        parents=[_common_options(seed=0, manifest=True, json_flag=True),
+                 _checkpoint_options()])
     loadgen.add_argument("--trace-shape", default="azure-faas",
                          choices=list_shapes(),
                          help="registered trace shape "
@@ -859,6 +1091,16 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[_common_options(seed=None, workers=True,
                                  json_flag=True, manifest=True)])
     _experiment_cell_options(erun, force=True)
+    erun.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="mid-cell durability: producers checkpoint every N units "
+             "of work under <cache>/checkpoints/<key> and auto-resume "
+             "on the next miss of the same cell")
+    erun.add_argument(
+        "--resume-from", metavar="DIR", default=None,
+        help="resume the cell from checkpoints in DIR instead of the "
+             "derived <cache>/checkpoints/<key> (implies "
+             "--checkpoint-every 1 unless given)")
     erun.set_defaults(fn=_cmd_experiment_run)
 
     esweep = esub.add_parser(
@@ -866,6 +1108,10 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[_common_options(seed=None, workers=True,
                                  json_flag=True, manifest=True)])
     _experiment_cell_options(esweep, force=True)
+    esweep.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="mid-cell durability within each grid cell (see "
+             "`experiment run --checkpoint-every`)")
     esweep.set_defaults(fn=_cmd_experiment_sweep)
 
     ereport = esub.add_parser(
@@ -873,6 +1119,41 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[_common_options(seed=None, json_flag=True)])
     _experiment_cell_options(ereport, force=False)
     ereport.set_defaults(fn=_cmd_experiment_report)
+
+    checkpoint = sub.add_parser(
+        "checkpoint", help="inspect or resume durable run checkpoints")
+    csub = checkpoint.add_subparsers(dest="checkpoint_command",
+                                     required=True)
+
+    cinspect = csub.add_parser(
+        "inspect", help="describe both checkpoint generations (header "
+                        "only — never unpickles)",
+        parents=[_common_options(json_flag=True)])
+    cinspect.add_argument("dir", metavar="DIR",
+                          help="checkpoint directory")
+    cinspect.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="watchdog staleness threshold: a current generation older "
+             "than this marks the run hung (default: 600)")
+    cinspect.set_defaults(fn=_cmd_checkpoint_inspect)
+
+    cresume = csub.add_parser(
+        "resume", help="continue a killed run from its last good "
+                       "checkpoint (self-describing: the config rides "
+                       "in the checkpoint)")
+    cresume.add_argument("dir", metavar="DIR",
+                         help="checkpoint directory")
+    cresume.add_argument(
+        "--name", default=None,
+        help="store name when DIR holds several (*.ckpt basename)")
+    cresume.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="override the cadence recorded in the checkpoint")
+    cresume.add_argument(
+        "--manifest", metavar="PATH", default=None,
+        help="write the resumed run's manifest JSON to PATH "
+             "(overrides the recorded telemetry destination)")
+    cresume.set_defaults(fn=_cmd_checkpoint_resume)
 
     sub.add_parser("hwcost", help="metadata-table cost").set_defaults(
         fn=_cmd_hwcost)

@@ -96,3 +96,32 @@ class MigratetypeDriftError(SanitizerError):
 class FreelistDivergenceError(SanitizerError):
     """Buddy free-list bookkeeping diverged from the frame arrays or the
     occupancy bitmaps (missing list entry, stale order, bad nr_free)."""
+
+
+class CheckpointError(ReproError):
+    """Base class for checkpoint/restore failures
+    (:mod:`repro.checkpoint`)."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file failed validation on read: bad magic, truncated
+    payload, or a checksum mismatch.  Recovery falls back to the
+    previous good checkpoint generation when one exists."""
+
+
+class CheckpointVersionError(CheckpointCorruptError):
+    """A checkpoint file carries an envelope version this build does not
+    understand (version skew between writer and reader)."""
+
+
+class CheckpointWriteError(CheckpointError):
+    """A checkpoint write failed before the atomic rename (disk error or
+    the injected ``checkpoint.write-fail`` site); every previously
+    written generation is left intact."""
+
+
+class SimCrashError(ReproError):
+    """The injected ``sim.crash`` fault site killed the run at a
+    checkpoint boundary — the crash-recovery harness's stand-in for a
+    SIGKILL.  Resuming from the last checkpoint must reproduce the
+    uninterrupted run bit-for-bit."""

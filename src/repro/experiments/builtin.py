@@ -36,9 +36,15 @@ def _produce_fleet_survey(ctx: ExperimentContext) -> list:
         max_uptime_steps=p["max_uptime_steps"],
         fault_plan=ctx.fault_plan,
     )
-    sample = run_fleet(FleetConfig(
-        n_servers=p["n_servers"], server=server,
-        base_seed=ctx.seed, workers=ctx.workers))
+    sample = run_fleet(
+        FleetConfig(n_servers=p["n_servers"], server=server,
+                    base_seed=ctx.seed, workers=ctx.workers),
+        checkpoint_every=ctx.checkpoint_every,
+        checkpoint_dir=ctx.checkpoint_dir,
+        # Resuming is always safe: with no checkpoint on disk the run
+        # starts fresh, and a stale-but-good one only skips servers the
+        # killed cell already finished.
+        resume=ctx.checkpoint_dir is not None)
     return [scan.snapshot() for scan in sample.scans]
 
 
@@ -177,16 +183,20 @@ def _produce_tail_latency(ctx: ExperimentContext) -> list:
     from ..workloads.tracegen import LoadgenConfig, run_loadgen
 
     p = ctx.params
-    result = run_loadgen(LoadgenConfig(
-        shape=p["shape"],
-        rate_rps=p["rate_krps"] * 1000.0,
-        duration_s=p["duration_ms"] / 1000.0,
-        app=p["app"],
-        design=p["design"],
-        migrations_per_second=p["migration_rate"],
-        buffer_pages=p["buffer_pages"],
-        seed=ctx.seed,
-    ))
+    result = run_loadgen(
+        LoadgenConfig(
+            shape=p["shape"],
+            rate_rps=p["rate_krps"] * 1000.0,
+            duration_s=p["duration_ms"] / 1000.0,
+            app=p["app"],
+            design=p["design"],
+            migrations_per_second=p["migration_rate"],
+            buffer_pages=p["buffer_pages"],
+            seed=ctx.seed,
+        ),
+        checkpoint_every=ctx.checkpoint_every,
+        checkpoint_dir=ctx.checkpoint_dir,
+        resume=ctx.checkpoint_dir is not None)
     cell = {"shape": p["shape"], "app": p["app"], "design": p["design"],
             "rate_krps": p["rate_krps"],
             "windows": result.windows_seen,

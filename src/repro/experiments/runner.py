@@ -87,7 +87,9 @@ def run_experiment(name: str,
                    force: bool = False,
                    metrics: MetricsRegistry | None = None,
                    emit_manifest: bool = True,
-                   manifest_path: str | None = None) -> ExperimentResult:
+                   manifest_path: str | None = None,
+                   checkpoint_every: int = 0,
+                   checkpoint_dir: str | None = None) -> ExperimentResult:
     """Run (or serve from cache) one experiment cell.
 
     Args:
@@ -106,6 +108,16 @@ def run_experiment(name: str,
             ``experiment.*`` counters land here.
         emit_manifest: build a run manifest onto the result.
         manifest_path: also write the manifest JSON there.
+        checkpoint_every: when > 0, producers that support mid-cell
+            checkpointing write to ``<cache>/checkpoints/<key>`` every N
+            units of work and auto-resume from the last good checkpoint
+            on the next miss of the same cell — a killed cell loses at
+            most one checkpoint interval.  Never part of the cache key
+            (checkpointing cannot change results).
+        checkpoint_dir: explicit checkpoint directory, overriding the
+            derived ``<cache>/checkpoints/<key>`` path — how
+            ``repro experiment run --resume-from`` points a rerun at a
+            killed cell's checkpoints.
     """
     spec = get_spec(name)
     config = spec.resolve(overrides)
@@ -141,9 +153,14 @@ def run_experiment(name: str,
                 emit_manifest=False)
             return dep_result.rows
 
+        if checkpoint_dir is None and checkpoint_every:
+            import os
+            checkpoint_dir = os.path.join(cache.root, "checkpoints", key)
         ctx = ExperimentContext(
             spec_name=spec.name, params=config, seed=seed,
-            workers=workers, fault_plan=plan, fetch=fetch)
+            workers=workers, fault_plan=plan, fetch=fetch,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir)
         produced = spec.producer(ctx)
         if not isinstance(produced, list):
             raise ConfigurationError(
@@ -195,7 +212,8 @@ def run_sweep(name: str,
               plan=None,
               cache: ResultCache | None = None,
               force: bool = False,
-              manifest_path: str | None = None) -> SweepResult:
+              manifest_path: str | None = None,
+              checkpoint_every: int = 0) -> SweepResult:
     """Run every cell of a spec's parameter grid, checkpointing each.
 
     *overrides* apply to every cell (for non-grid parameters, e.g. a
@@ -216,7 +234,8 @@ def run_sweep(name: str,
         result = run_experiment(
             name, overrides={**(overrides or {}), **cell},
             seed=seed, workers=workers, plan=plan,
-            cache=cache, force=force, metrics=metrics, emit_manifest=False)
+            cache=cache, force=force, metrics=metrics, emit_manifest=False,
+            checkpoint_every=checkpoint_every)
         if metrics.counters["experiment.cache_hit"] > before_hits:
             # This cell was finished by an earlier (possibly interrupted)
             # sweep or run: the rerun resumed past it.

@@ -48,6 +48,13 @@ class ExperimentContext:
     experiment's rows through the same cache, metrics registry, worker
     budget, and fault plan — the dependency mechanism that lets several
     figures share one steady-state run.
+
+    ``checkpoint_every``/``checkpoint_dir`` are the mid-cell durability
+    knobs: producers that run long surveys or bursts forward them to
+    the underlying entry point (``survey_fleet``, ``run_loadgen``) so a
+    killed cell resumes from its last good checkpoint instead of
+    recomputing; neither knob is part of the cache key because
+    checkpointing cannot change results (bit-identity contract).
     """
 
     spec_name: str
@@ -56,6 +63,8 @@ class ExperimentContext:
     workers: int | None = None
     fault_plan: Any = None
     fetch: Callable[..., list] | None = None
+    checkpoint_every: int = 0
+    checkpoint_dir: str | None = None
 
 
 @dataclass(frozen=True)

@@ -26,11 +26,13 @@ from ..errors import ConfigurationError
 #: else is rejected at construction time, so typos fail fast rather
 #: than silently injecting nothing.
 KNOWN_SITES: tuple[str, ...] = (
+    "checkpoint.write-fail",  # checkpoint write dies before the rename
     "fleet.worker.crash",   # the worker process dies mid-scan
     "mm.buddy.watermark",   # buddy alloc fails as if below watermarks
     "mm.memory.uce",        # uncorrectable memory error on a random frame
     "mm.migrate.busy",      # transient busy refcount during migration
     "mm.migrate.pin",       # transient page pin during migration
+    "sim.crash",            # the run dies at a checkpoint boundary
 )
 
 
@@ -154,5 +156,14 @@ NAMED_PLANS: dict[str, FaultPlan] = {
     # and the contiguity CDF must account for the holes.
     "uce": FaultPlan("uce", (
         FaultSpec("mm.memory.uce", rate=0.02, max_fires=4),
+    )),
+    # Crash-recovery harness: the first checkpoint write dies before its
+    # atomic rename (both earlier generations must survive), then the
+    # run itself is killed at the next checkpoint boundary.  Resuming
+    # from the surviving checkpoint must be bit-identical to an
+    # uninterrupted run of the same seed.
+    "crash-restart": FaultPlan("crash-restart", (
+        FaultSpec("checkpoint.write-fail", rate=1.0, max_fires=1),
+        FaultSpec("sim.crash", rate=1.0, max_fires=1, skip=1),
     )),
 }

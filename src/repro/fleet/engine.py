@@ -287,7 +287,8 @@ def iter_fleet_scans(n_servers: int,
                      chunk_size: int | None = None,
                      max_retries: int | None = None,
                      server_timeout: float | None = None,
-                     backoff_base: float | None = None):
+                     backoff_base: float | None = None,
+                     indices=None):
     """Stream ``(index, scan)`` pairs as servers complete.
 
     The streaming spine of :func:`run_fleet_scans`: identical
@@ -298,28 +299,39 @@ def iter_fleet_scans(n_servers: int,
     spans.  Parallel runs yield in completion order; the serial path
     yields in index order.  Every index is yielded exactly once
     (degraded placeholders included).
+
+    ``indices`` restricts the run to a subset of server indices
+    (default: all of ``range(n_servers)``) without changing any
+    server's seed — the checkpoint/resume path uses it to finish only
+    the servers a killed survey never completed, and each resumed
+    server is bit-identical to its uninterrupted self because seeding
+    is ``base_seed + index`` either way.
     """
     if max_retries is None:
         max_retries = DEFAULT_MAX_RETRIES
     if backoff_base is None:
         backoff_base = DEFAULT_BACKOFF_BASE
-    nworkers = min(resolve_workers(workers), max(1, n_servers))
+    if indices is None:
+        indices = range(n_servers)
+    else:
+        indices = [i for i in indices if 0 <= i < n_servers]
+    nworkers = min(resolve_workers(workers), max(1, len(indices)))
     t0 = time.perf_counter()
     if _tp_run_start.enabled:
         _tp_run_start.emit(n_servers=n_servers, workers=nworkers,
                            base_seed=base_seed)
     n_failed = 0
     if nworkers <= 1:
-        for i in range(n_servers):
+        for i in indices:
             scan, failed = _supervise_one(
                 i, config, base_seed + i, 0, max_retries, backoff_base, t0)
             n_failed += failed
             yield i, scan
     else:
-        chunk = _resolve_chunk(chunk_size, n_servers, nworkers,
+        chunk = _resolve_chunk(chunk_size, len(indices), nworkers,
                                server_timeout)
         for index, scan, failed in _iter_supervised(
-                config, base_seed, n_servers, nworkers, chunk,
+                config, base_seed, indices, nworkers, chunk,
                 max_retries, server_timeout, backoff_base, t0):
             n_failed += failed
             yield index, scan
@@ -405,7 +417,7 @@ def _supervise_one(index: int, config: ServerConfig | None, seed: int,
     return _degraded_scan(error), True
 
 
-def _iter_supervised(config: ServerConfig | None, base_seed: int, n: int,
+def _iter_supervised(config: ServerConfig | None, base_seed: int, indices,
                      nworkers: int, chunk: int, max_retries: int,
                      server_timeout: float | None, backoff_base: float,
                      t0: float):
@@ -418,7 +430,7 @@ def _iter_supervised(config: ServerConfig | None, base_seed: int, n: int,
     are packed up to *chunk* per task; retries always travel as
     singletons so each server keeps its own attempt count and backoff.
     """
-    pending: deque[tuple[int, int]] = deque((i, 0) for i in range(n))
+    pending: deque[tuple[int, int]] = deque((i, 0) for i in indices)
     delayed: list[tuple[float, int, int]] = []   # (ready_at, index, attempt)
     inflight: dict = {}                          # future -> (entries, ddl)
     ready: deque[tuple[int, ServerScan, bool]] = deque()

@@ -238,7 +238,66 @@ def _manifest_config(n_servers: int, config: ServerConfig | None,
     return config_dict
 
 
-def run_fleet(config: FleetConfig | int, /, **legacy) -> FleetSample:
+def _checkpoint_store(checkpoint_every: int, checkpoint_dir: str | None,
+                      name: str):
+    """Build a :class:`~repro.checkpoint.CheckpointStore` when both
+    knobs are set; None otherwise (the no-checkpoint fast path)."""
+    if not checkpoint_every or checkpoint_dir is None:
+        return None
+    from ..checkpoint import CheckpointStore
+    return CheckpointStore(checkpoint_dir, name)
+
+
+def _checkpoint_fleet(store, kind: str, config: FleetConfig,
+                      checkpoint_every: int, done: int,
+                      payload: dict) -> None:
+    """One fleet checkpoint boundary: tolerant save, then give the
+    ``sim.crash`` site its shot.  A failed write is counted by the
+    store and the survey continues — the deadline watchdog flags a
+    survey that *stays* unable to checkpoint.
+
+    The pickled config rides in the payload so ``repro checkpoint
+    resume <dir>`` can reconstruct the campaign without re-spelling any
+    flags; the JSON meta carries enough to sanity-check a resume and to
+    describe the file without unpickling.
+    """
+    from ..checkpoint import maybe_crash
+    from ..errors import CheckpointWriteError
+    try:
+        store.save(kind, done, {**payload, "config": config},
+                   meta={"n_servers": config.n_servers,
+                         "base_seed": config.base_seed,
+                         "checkpoint_every": checkpoint_every,
+                         "done": done})
+    except CheckpointWriteError:
+        pass
+    maybe_crash(done, kind=kind)
+
+
+def _load_fleet_checkpoint(store, config: FleetConfig):
+    """The last good checkpoint for *config*, or None.
+
+    A checkpoint from a differently-shaped campaign (seed or size
+    mismatch) raises instead of silently blending two surveys.
+    """
+    ckpt = store.load_latest()
+    if ckpt is None:
+        return None
+    if (ckpt.meta.get("n_servers") != config.n_servers
+            or ckpt.meta.get("base_seed") != config.base_seed):
+        raise ConfigurationError(
+            f"checkpoint in {store.directory!r} belongs to a different "
+            f"campaign (n_servers={ckpt.meta.get('n_servers')}, "
+            f"base_seed={ckpt.meta.get('base_seed')}); this run has "
+            f"n_servers={config.n_servers}, base_seed={config.base_seed}")
+    return ckpt
+
+
+def run_fleet(config: FleetConfig | int, /, *,
+              checkpoint_every: int = 0,
+              checkpoint_dir: str | None = None,
+              resume: bool = False,
+              **legacy) -> FleetSample:
     """Run one fleet-sampling campaign described by a :class:`FleetConfig`.
 
     The typed front door (docs/API.md): every knob — sampling size,
@@ -277,6 +336,7 @@ def run_fleet(config: FleetConfig | int, /, **legacy) -> FleetSample:
             "run_fleet(FleetConfig) takes no keyword arguments; vary the "
             f"config with dataclasses.replace (got {sorted(legacy)})")
 
+    store = _checkpoint_store(checkpoint_every, checkpoint_dir, "fleet")
     telemetry = config.telemetry
     tcfg = telemetry or _DEFAULT_TELEMETRY
     sink = None
@@ -284,11 +344,13 @@ def run_fleet(config: FleetConfig | int, /, **legacy) -> FleetSample:
         sink = (JsonlSink(tcfg.events_path) if tcfg.events_path
                 else RingBufferSink(tcfg.ring_capacity))
         with tracing(*tcfg.trace_patterns, sink=sink):
-            scans = _run_scans(config)
+            scans = _run_scans(config, checkpoint_every=checkpoint_every,
+                               store=store, resume=resume)
         if isinstance(sink, JsonlSink):
             sink.close()
     else:
-        scans = _run_scans(config)
+        scans = _run_scans(config, checkpoint_every=checkpoint_every,
+                           store=store, resume=resume)
 
     sample = FleetSample(scans=scans)
     if telemetry is not None and tcfg.emit_manifest:
@@ -303,6 +365,9 @@ def run_fleet(config: FleetConfig | int, /, **legacy) -> FleetSample:
                 "workers": resolve_workers(config.workers),
                 "trace_events": (sink.written if isinstance(sink, JsonlSink)
                                  else sink.appended if sink else 0),
+                **({"checkpoint_dir": checkpoint_dir,
+                    "checkpoint_every": checkpoint_every,
+                    "resumed": resume} if store is not None else {}),
             },
         )
         sample.manifest = manifest
@@ -311,14 +376,43 @@ def run_fleet(config: FleetConfig | int, /, **legacy) -> FleetSample:
     return sample
 
 
-def _run_scans(config: FleetConfig) -> list[ServerScan]:
-    return run_fleet_scans(
-        config.n_servers, config=config.server,
-        base_seed=config.base_seed, workers=config.workers,
-        chunk_size=config.chunk_size,
-        max_retries=config.max_retries,
-        server_timeout=config.server_timeout,
-        backoff_base=config.backoff_base)
+def _run_scans(config: FleetConfig, *, checkpoint_every: int = 0,
+               store=None, resume: bool = False) -> list[ServerScan]:
+    if store is None:
+        return run_fleet_scans(
+            config.n_servers, config=config.server,
+            base_seed=config.base_seed, workers=config.workers,
+            chunk_size=config.chunk_size,
+            max_retries=config.max_retries,
+            server_timeout=config.server_timeout,
+            backoff_base=config.backoff_base)
+    results: list[ServerScan | None] = [None] * config.n_servers
+    done: set[int] = set()
+    if resume:
+        ckpt = _load_fleet_checkpoint(store, config)
+        if ckpt is not None:
+            for index, scan in ckpt.payload["scans"].items():
+                results[index] = scan
+                done.add(index)
+    indices = [i for i in range(config.n_servers) if i not in done]
+    since = 0
+    for index, scan in iter_fleet_scans(
+            config.n_servers, config=config.server,
+            base_seed=config.base_seed, workers=config.workers,
+            chunk_size=config.chunk_size,
+            max_retries=config.max_retries,
+            server_timeout=config.server_timeout,
+            backoff_base=config.backoff_base,
+            indices=indices):
+        results[index] = scan
+        done.add(index)
+        since += 1
+        if since % checkpoint_every == 0:
+            _checkpoint_fleet(
+                store, "fleet", config, checkpoint_every, len(done),
+                {"scans": {i: s for i, s in enumerate(results)
+                           if s is not None}})
+    return results
 
 
 @dataclass
@@ -446,7 +540,10 @@ class _StreamAggregator:
         )
 
 
-def survey_fleet(config: FleetConfig) -> FleetSummary:
+def survey_fleet(config: FleetConfig, *,
+                 checkpoint_every: int = 0,
+                 checkpoint_dir: str | None = None,
+                 resume: bool = False) -> FleetSummary:
     """Run a fleet campaign in constant memory, streaming scans into
     aggregates as they complete.
 
@@ -458,21 +555,48 @@ def survey_fleet(config: FleetConfig) -> FleetSummary:
     fault plans), telemetry, and the manifest's deterministic view are
     identical to :func:`run_fleet` for the same config — only the
     per-scan list is absent.
+
+    With ``checkpoint_every > 0`` and a ``checkpoint_dir``, the survey
+    checkpoints the streaming aggregator plus the completed-index set
+    every N scans — constant-size checkpoints, like the aggregation
+    itself.  ``resume=True`` restores the last good checkpoint and runs
+    only the servers the killed survey never finished; per-index
+    seeding makes the final summary (and manifest deterministic view)
+    byte-identical to an uninterrupted run's.
     """
     if not isinstance(config, FleetConfig):
         raise ConfigurationError(
             f"survey_fleet takes a FleetConfig, got {type(config).__name__}")
 
+    store = _checkpoint_store(checkpoint_every, checkpoint_dir,
+                              "fleet-survey")
+
     def _stream() -> _StreamAggregator:
         agg = _StreamAggregator()
+        done: set[int] = set()
+        if store is not None and resume:
+            ckpt = _load_fleet_checkpoint(store, config)
+            if ckpt is not None:
+                agg = ckpt.payload["agg"]
+                done = set(ckpt.payload["done"])
+        indices = (None if not done else
+                   [i for i in range(config.n_servers) if i not in done])
+        since = 0
         for index, scan in iter_fleet_scans(
                 config.n_servers, config=config.server,
                 base_seed=config.base_seed, workers=config.workers,
                 chunk_size=config.chunk_size,
                 max_retries=config.max_retries,
                 server_timeout=config.server_timeout,
-                backoff_base=config.backoff_base):
+                backoff_base=config.backoff_base,
+                indices=indices):
             agg.add(index, scan)
+            done.add(index)
+            since += 1
+            if store is not None and since % checkpoint_every == 0:
+                _checkpoint_fleet(store, "fleet-survey", config,
+                                  checkpoint_every, len(done),
+                                  {"agg": agg, "done": sorted(done)})
         return agg
 
     telemetry = config.telemetry
@@ -501,6 +625,9 @@ def survey_fleet(config: FleetConfig) -> FleetSummary:
                 "workers": resolve_workers(config.workers),
                 "trace_events": (sink.written if isinstance(sink, JsonlSink)
                                  else sink.appended if sink else 0),
+                **({"checkpoint_dir": checkpoint_dir,
+                    "checkpoint_every": checkpoint_every,
+                    "resumed": resume} if store is not None else {}),
             },
         )
         summary.manifest = manifest

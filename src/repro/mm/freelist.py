@@ -112,6 +112,33 @@ class FreelistStore:
         self.prev_mv = memoryview(self.prev)
         self.list_mv = memoryview(self.list_id)
 
+    def __getstate__(self) -> dict:
+        """Slot values minus the memoryview mirrors (not picklable;
+        rebuilt from the columns on restore)."""
+        return {name: getattr(self, name) for name in self.__slots__
+                if not name.endswith("_mv")}
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._refresh_views()
+        # The store <-> list references are a pickle cycle: whichever
+        # side unpickles second sees the other fully built.  Rebind any
+        # list that already has its slots so its view handles point at
+        # this store's fresh memoryviews; lists restored later rebind
+        # themselves in their own __setstate__.
+        for fl in self._lists:
+            if hasattr(fl, "_id"):
+                fl._rebind()
+
+    def check_invariants(self) -> None:
+        """Sweep every list ever threaded through this store
+        (:meth:`FreeList.check_invariants` per list).  The restore path
+        runs this before continuing from a checkpoint; raises
+        :class:`~repro.errors.FreelistDivergenceError` on any drift."""
+        for fl in self._lists:
+            fl.check_invariants()
+
     def new_list(self) -> "FreeList":
         """A fresh empty list threaded through this store's arrays."""
         return FreeList(self)
@@ -172,6 +199,22 @@ class FreeList:
         self._next = store.next_mv
         self._prev = store.prev_mv
         self._lid = store.list_mv
+
+    def __getstate__(self) -> dict:
+        """Slot values minus the borrowed memoryview handles
+        (``_next``/``_prev``/``_lid``), which :meth:`_rebind` re-derives
+        from the store."""
+        return {name: getattr(self, name) for name in self.__slots__
+                if name not in ("_next", "_prev", "_lid")}
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        # Mirror image of FreelistStore.__setstate__'s cycle handling:
+        # rebind now if the store is already rebuilt, otherwise the
+        # store rebinds us when its own state lands.
+        if hasattr(self._store, "next_mv"):
+            self._rebind()
 
     def __len__(self) -> int:
         return self._count

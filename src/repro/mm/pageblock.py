@@ -26,6 +26,15 @@ class PageblockTable:
         # Scalar view sharing the buffer; see PhysicalMemory for why.
         self._types_mv = memoryview(self.types)
 
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_types_mv"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._types_mv = memoryview(self.types)
+
     def get(self, pfn: int) -> MigrateType:
         """Migrate type of the pageblock containing *pfn*."""
         return MigrateType(int(self.types[pfn // PAGEBLOCK_FRAMES]))

@@ -104,6 +104,27 @@ class PhysicalMemory:
         self.sanitizer = None
 
     # ------------------------------------------------------------------
+    # Pickling (checkpoint/restore)
+    # ------------------------------------------------------------------
+
+    _MV_ATTRS = ("flags_mv", "migratetype_mv", "source_mv",
+                 "free_order_mv", "free_mt_mv", "alloc_order_mv",
+                 "head_of_mv", "birth_mv")
+
+    def __getstate__(self) -> dict:
+        """Drop the memoryview mirrors: views are not picklable and are
+        pure derivations of the numpy columns anyway."""
+        state = dict(self.__dict__)
+        for name in self._MV_ATTRS:
+            state.pop(name, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        for name in self._MV_ATTRS:
+            setattr(self, name, memoryview(getattr(self, name[:-3])))
+
+    # ------------------------------------------------------------------
     # Invariant failures (cold paths, split out of the hot marks)
     # ------------------------------------------------------------------
 

@@ -254,7 +254,10 @@ class JsonlSink:
 
     def __init__(self, path) -> None:
         self.path = str(path)
-        self._fh = open(self.path, "w")
+        # A live event stream, not a durable artifact: readers tail it
+        # while the run is in flight, so staging + os.replace would
+        # defeat the point.
+        self._fh = open(self.path, "w")  # simlint: disable=SL010
         self.written = 0
 
     def append(self, event: TraceEvent) -> None:

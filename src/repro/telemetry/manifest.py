@@ -92,10 +92,29 @@ def deterministic_view(manifest: dict) -> dict:
 
 
 def write_manifest(path, manifest: dict) -> str:
+    """Write *manifest* as JSON atomically (stage + ``os.replace``).
+
+    A manifest is the durable proof a run happened as recorded — CI
+    gates diff it — so a crash mid-write must never leave a truncated
+    file where a previous good one stood (SL010 contract).
+    """
+    import tempfile
+
     path = str(path)
-    with open(path, "w") as fh:
-        json.dump(manifest, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-manifest",
+                               suffix=".json")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return path
 
 

@@ -117,13 +117,23 @@ class WorkloadResult:
         return snap
 
 
-def run_workload(config: WorkloadConfig) -> WorkloadResult:
+def run_workload(config: WorkloadConfig, *,
+                 checkpoint_every: int = 0,
+                 checkpoint_dir: str | None = None,
+                 resume: bool = False) -> WorkloadResult:
     """Run a workload to steady state (plus an optional load burst).
 
     The kernel boots, the service's churn runs for ``config.steps``
     steps, and the fragmentation/coverage measurements the paper
     reports per machine are collected.  With ``config.loadgen`` set, an
     open-loop tail-latency burst follows.
+
+    With ``checkpoint_every > 0`` and a ``checkpoint_dir``, the churn
+    loop checkpoints every N steps (atomic two-generation rotation; see
+    :mod:`repro.checkpoint`) and gives the ``sim.crash`` fault site a
+    shot at each boundary.  ``resume=True`` restores the last good
+    checkpoint — after a sanitizer sweep — and continues; the finished
+    result is byte-identical to an uninterrupted run's.
     """
     if not isinstance(config, WorkloadConfig):
         raise ConfigurationError(
@@ -135,15 +145,49 @@ def run_workload(config: WorkloadConfig) -> WorkloadResult:
     from ..core import ContiguitasConfig, ContiguitasKernel
     from ..mm import KernelConfig, LinuxKernel
 
-    if config.kernel == "linux":
-        kernel = LinuxKernel(KernelConfig(mem_bytes=config.mem_bytes))
-    else:
-        kernel = ContiguitasKernel(
-            ContiguitasConfig(mem_bytes=config.mem_bytes))
-    workload = Workload(kernel, config.spec, seed=config.seed)
-    workload.start()
-    for _ in range(config.steps):
+    store = None
+    if checkpoint_every and checkpoint_dir is not None:
+        from ..checkpoint import CheckpointStore
+        store = CheckpointStore(checkpoint_dir, "workload")
+
+    kernel = workload = None
+    start_step = 0
+    if store is not None and resume:
+        ckpt = store.load_latest()
+        if ckpt is not None:
+            from ..checkpoint import restore_kernel
+            kernel = ckpt.payload["kernel"]
+            workload = ckpt.payload["workload"]
+            start_step = ckpt.step
+            restore_kernel(kernel)
+    if kernel is None:
+        if config.kernel == "linux":
+            kernel = LinuxKernel(KernelConfig(mem_bytes=config.mem_bytes))
+        else:
+            kernel = ContiguitasKernel(
+                ContiguitasConfig(mem_bytes=config.mem_bytes))
+        workload = Workload(kernel, config.spec, seed=config.seed)
+        workload.start()
+    for step in range(start_step, config.steps):
         workload.step()
+        done = step + 1
+        if store is not None and done % checkpoint_every == 0:
+            from ..checkpoint import maybe_crash
+            from ..errors import CheckpointWriteError
+            try:
+                store.save("workload", done,
+                           {"kernel": kernel, "workload": workload,
+                            "config": config},
+                           meta={"service": config.service_name,
+                                 "seed": config.seed,
+                                 "checkpoint_every": checkpoint_every,
+                                 "steps": config.steps})
+            except CheckpointWriteError:
+                # Counted by the store; generations intact, run
+                # continues — persistent failure surfaces through the
+                # deadline watchdog instead of killing the run.
+                pass
+            maybe_crash(done, kind="workload")
 
     loadgen_result = None
     if config.loadgen is not None:

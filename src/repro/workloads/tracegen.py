@@ -454,35 +454,55 @@ class LoadgenResult:
 
 
 def _run_open_loop(config: LoadgenConfig, metrics: MetricsRegistry,
-                   params: ArchParams) -> LoadgenResult:
+                   params: ArchParams, *, checkpoint_every: int = 0,
+                   store=None, resume: bool = False) -> LoadgenResult:
     shape = get_shape(config.shape)
     app = APPS[config.app]
     freq_hz = params.freq_ghz * 1e9
 
+    # Arrivals and service demands are pure functions of (shape, rate,
+    # duration, seed) via named streams, so a resumed run regenerates
+    # them instead of carrying ~10^5 floats in every checkpoint.
     arrivals, spikes = sample_arrivals(
         shape, config.rate_rps, config.duration_s, seed=config.seed)
     services = sample_service(shape, len(arrivals), seed=config.seed)
 
-    loop = RequestLoop(app, params, buffer_pages=config.buffer_pages,
-                       seed=config.seed)
-    schedule: MigrationSchedule | None = None
-    mode = AccessMode.NONCACHEABLE
-    if config.design != "none" and config.migrations_per_second > 0:
-        schedule = loop.make_schedule(config.migrations_per_second)
-        if config.design == "cacheable":
-            mode = AccessMode.CACHEABLE
+    restored = None
+    if store is not None and resume:
+        ckpt = store.load_latest()
+        if ckpt is not None:
+            restored = ckpt.payload
+    if restored is not None:
+        loop = restored["loop"]
+        schedule: MigrationSchedule | None = restored["schedule"]
+        recorders = restored["recorders"]
+        windows_before = restored["windows_before"]
+        start_index = restored["index"]
+        mode = (AccessMode.CACHEABLE
+                if config.design == "cacheable" and schedule is not None
+                else AccessMode.NONCACHEABLE)
+    else:
+        loop = RequestLoop(app, params, buffer_pages=config.buffer_pages,
+                           seed=config.seed)
+        schedule = None
+        mode = AccessMode.NONCACHEABLE
+        if config.design != "none" and config.migrations_per_second > 0:
+            schedule = loop.make_schedule(config.migrations_per_second)
+            if config.design == "cacheable":
+                mode = AccessMode.CACHEABLE
+        recorders = {"all": LatencyRecorder(),
+                     "migration": LatencyRecorder(),
+                     "quiet": LatencyRecorder()}
+        windows_before = 0
+        start_index = 0
+        if _tp_start.enabled:
+            _tp_start.emit(shape=shape.name, app=app.name,
+                           design=config.design, rate_rps=config.rate_rps,
+                           offered=len(arrivals))
 
-    if _tp_start.enabled:
-        _tp_start.emit(shape=shape.name, app=app.name,
-                       design=config.design, rate_rps=config.rate_rps,
-                       offered=len(arrivals))
-
-    recorders = {"all": LatencyRecorder(),
-                 "migration": LatencyRecorder(),
-                 "quiet": LatencyRecorder()}
     core = loop.core
-    windows_before = 0
-    for arrival_s, instructions in zip(arrivals, services):
+    for index in range(start_index, len(arrivals)):
+        arrival_s, instructions = arrivals[index], services[index]
         arrival = arrival_s * freq_hz
         if core.stats.cycles < arrival:
             # Server idle until this arrival: open-loop dispatch means
@@ -501,6 +521,27 @@ def _run_open_loop(config: LoadgenConfig, metrics: MetricsRegistry,
             _tp_window.emit(opened=schedule.windows_seen - windows_before,
                             total=schedule.windows_seen)
             windows_before = schedule.windows_seen
+        done = index + 1
+        if (store is not None and checkpoint_every
+                and done % checkpoint_every == 0):
+            from ..checkpoint import maybe_crash
+            from ..errors import CheckpointWriteError
+            try:
+                store.save("loadgen", done,
+                           {"loop": loop, "schedule": schedule,
+                            "recorders": recorders,
+                            "windows_before": windows_before,
+                            "index": done, "config": config},
+                           meta={"shape": config.shape, "seed": config.seed,
+                                 "checkpoint_every": checkpoint_every,
+                                 "requests": len(arrivals)})
+            except CheckpointWriteError:
+                # Counted by the store; both generations are intact and
+                # the run keeps going — a run that *stays* unable to
+                # checkpoint goes stale and the deadline watchdog flags
+                # it as hung.
+                pass
+            maybe_crash(done, kind="loadgen")
 
     windows_seen = schedule.windows_seen if schedule else 0
     metrics.inc("loadgen.requests", len(arrivals))
@@ -524,7 +565,10 @@ def _run_open_loop(config: LoadgenConfig, metrics: MetricsRegistry,
 
 
 def run_loadgen(config: LoadgenConfig,
-                params: ArchParams = DEFAULT_PARAMS) -> LoadgenResult:
+                params: ArchParams = DEFAULT_PARAMS, *,
+                checkpoint_every: int = 0,
+                checkpoint_dir: str | None = None,
+                resume: bool = False) -> LoadgenResult:
     """Run one open-loop load-generation burst.
 
     Arrivals are sampled from the configured :class:`TraceShape`,
@@ -532,7 +576,17 @@ def run_loadgen(config: LoadgenConfig,
     migration design, and per-request latencies recorded.  With
     ``config.telemetry`` set, ``loadgen.*`` tracepoints fire and a run
     manifest (latency histograms included) is attached / written.
+
+    With ``checkpoint_every > 0`` and a ``checkpoint_dir``, the request
+    loop checkpoints every N served requests (see
+    :mod:`repro.checkpoint`); ``resume=True`` restores the last good
+    checkpoint and finishes the burst with a manifest byte-identical to
+    an uninterrupted run's.
     """
+    store = None
+    if checkpoint_every and checkpoint_dir is not None:
+        from ..checkpoint import CheckpointStore
+        store = CheckpointStore(checkpoint_dir, "loadgen")
     metrics = MetricsRegistry()
     tcfg = config.telemetry
     sink = None
@@ -540,11 +594,15 @@ def run_loadgen(config: LoadgenConfig,
         sink = (JsonlSink(tcfg.events_path) if tcfg.events_path
                 else RingBufferSink(tcfg.ring_capacity))
         with tracing(*tcfg.trace_patterns, sink=sink):
-            result = _run_open_loop(config, metrics, params)
+            result = _run_open_loop(config, metrics, params,
+                                    checkpoint_every=checkpoint_every,
+                                    store=store, resume=resume)
         if isinstance(sink, JsonlSink):
             sink.close()
     else:
-        result = _run_open_loop(config, metrics, params)
+        result = _run_open_loop(config, metrics, params,
+                                checkpoint_every=checkpoint_every,
+                                store=store, resume=resume)
 
     if tcfg is not None and tcfg.emit_manifest:
         manifest = build_manifest(
@@ -562,6 +620,12 @@ def run_loadgen(config: LoadgenConfig,
             volatile={
                 "trace_events": (sink.written if isinstance(sink, JsonlSink)
                                  else sink.appended if sink else 0),
+                # Checkpoint bookkeeping is volatile by design: resumed
+                # and uninterrupted runs must share an identical
+                # deterministic view.
+                **({"checkpoint_dir": checkpoint_dir,
+                    "checkpoint_every": checkpoint_every,
+                    "resumed": resume} if store is not None else {}),
             },
         )
         result.manifest = manifest

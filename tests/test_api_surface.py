@@ -165,6 +165,7 @@ class TestExportSnapshots:
             "SL007",
             "SL008",
             "SL009",
+            "SL010",
             "DL100",
             "DL101",
             "DL102",

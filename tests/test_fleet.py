@@ -104,6 +104,81 @@ class TestFleetSampling:
         assert a.uptime_steps == b.uptime_steps
 
 
+class TestScanSnapshotRoundTrip:
+    """Pin the ``from_snapshot(snapshot()) == scan`` contract — the
+    experiment cache and fleet checkpoints both rely on it, including
+    the conditional ``latency``/``failed``/``error`` keys."""
+
+    def _scan(self, **kw):
+        from repro.fleet import ServerScan
+
+        base = dict(
+            uptime_steps=120, free_frames=4096, free_2m_blocks=3,
+            contiguity={"2MB": 0.25, "1GB": 0.0},
+            unmovable={"2MB": 0.5, "1GB": 1.0},
+            sources={AllocSource.NETWORKING: 7, AllocSource.SLAB: 2},
+            vmstat={"pgalloc": 10, "pgfree": 4},
+        )
+        base.update(kw)
+        return ServerScan(**base)
+
+    def test_healthy_scan_round_trips(self):
+        from repro.fleet import ServerScan
+
+        scan = self._scan()
+        snap = scan.snapshot()
+        assert "latency" not in snap
+        assert "failed" not in snap and "error" not in snap
+        assert ServerScan.from_snapshot(snap) == scan
+
+    def test_latency_fields_round_trip(self):
+        from repro.fleet import ServerScan
+
+        scan = self._scan(latency={
+            "all": {"requests": 10, "p50_us": 1.0, "p99_us": 2.0,
+                    "p999_us": 3.0, "max_us": 4.0},
+            "migration": {"requests": 2, "p50_us": 5.0, "p99_us": 6.0,
+                          "p999_us": 7.0, "max_us": 8.0},
+        })
+        rebuilt = ServerScan.from_snapshot(scan.snapshot())
+        assert rebuilt == scan
+        assert rebuilt.latency["migration"]["p99_us"] == 6.0
+
+    def test_failed_and_error_round_trip(self):
+        from repro.fleet import ServerScan
+
+        scan = self._scan(free_frames=0, contiguity={}, unmovable={},
+                          sources={}, vmstat={}, failed=True,
+                          error="worker crashed: boom")
+        snap = scan.snapshot()
+        assert snap["failed"] is True and snap["error"].endswith("boom")
+        rebuilt = ServerScan.from_snapshot(snap)
+        assert rebuilt == scan
+        assert rebuilt.failed and rebuilt.error == scan.error
+
+    def test_fleet_sample_from_snapshots(self):
+        from repro.fleet import FleetSample
+
+        scans = [self._scan(),
+                 self._scan(free_frames=0, failed=True, error="x")]
+        sample = FleetSample(scans=scans)
+        rebuilt = FleetSample.from_snapshots(
+            [s.snapshot() for s in scans])
+        assert rebuilt == sample
+        assert rebuilt.failed_indices() == [1]
+
+    def test_json_round_trip_is_loss_free(self):
+        import json
+
+        from repro.fleet import ServerScan
+
+        scan = self._scan(latency={"all": {"requests": 1, "p50_us": 1.0,
+                                           "p99_us": 1.0, "p999_us": 1.0,
+                                           "max_us": 1.0}})
+        snap = json.loads(json.dumps(scan.snapshot()))
+        assert ServerScan.from_snapshot(snap) == scan
+
+
 class TestFleetReport:
     def test_render_report_contains_all_sections(self):
         from repro.fleet import ServerConfig, render_report

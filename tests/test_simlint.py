@@ -437,6 +437,74 @@ class TestPerFrameObjectSL009:
         assert "SL009" not in rules_of(src, MM_PATH)
 
 
+TELEMETRY_PATH = "src/repro/telemetry/fixture.py"
+CHECKPOINT_PATH = "src/repro/checkpoint/fixture.py"
+
+
+class TestAtomicDurableWriteSL010:
+    BARE_WRITE = """
+        def save(path, data):
+            with open(path, "w") as fh:
+                fh.write(data)
+    """
+
+    def test_flags_bare_write_in_durable_subsystems(self):
+        for path in (TELEMETRY_PATH, CHECKPOINT_PATH,
+                     "src/repro/experiments/fixture.py"):
+            found = findings_for(self.BARE_WRITE, path)
+            assert [f.rule for f in found] == ["SL010"], path
+            assert "os.replace" in found[0].message
+
+    def test_ignores_non_durable_subsystems(self):
+        assert "SL010" not in rules_of(self.BARE_WRITE, MM_PATH)
+        assert "SL010" not in rules_of(self.BARE_WRITE, NEUTRAL_PATH)
+
+    def test_ignores_read_mode_and_nonconstant_mode(self):
+        src = """
+            def load(path, mode):
+                with open(path) as fh:
+                    a = fh.read()
+                with open(path, "rb") as fh:
+                    b = fh.read()
+                with open(path, mode) as fh:
+                    c = fh.read()
+                return a, b, c
+        """
+        assert "SL010" not in rules_of(src, TELEMETRY_PATH)
+
+    def test_atomic_idiom_passes(self):
+        src = """
+            import os
+            import tempfile
+
+            def save(path, data):
+                fd, tmp = tempfile.mkstemp(dir=".")
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(data)
+                os.replace(tmp, path)
+        """
+        assert "SL010" not in rules_of(src, CHECKPOINT_PATH)
+
+    def test_mode_keyword_and_append_flagged(self):
+        src = """
+            def log(path, line):
+                with open(path, mode="a") as fh:
+                    fh.write(line)
+        """
+        assert "SL010" in rules_of(src, TELEMETRY_PATH)
+
+    def test_disable_comment_for_streaming_sinks(self):
+        src = """
+            def stream(path):
+                return open(path, "w")  # simlint: disable=SL010
+        """
+        assert "SL010" not in rules_of(src, TELEMETRY_PATH)
+
+    def test_test_files_exempt(self):
+        assert "SL010" not in rules_of(
+            self.BARE_WRITE, "tests/test_fixture.py")
+
+
 class TestSuppression:
     VIOLATION = """
         def merge(order):

@@ -60,7 +60,7 @@ class TestCli:
         assert set(sub.choices) == {"fig13", "walk", "steady", "fleet",
                                     "hwcost", "interference", "autotune",
                                     "chaos", "trace", "metrics", "lint",
-                                    "experiment", "loadgen"}
+                                    "experiment", "loadgen", "checkpoint"}
 
     def test_shared_options_spelled_identically(self):
         """The consolidated verbs take --seed/--workers/--json/--manifest
