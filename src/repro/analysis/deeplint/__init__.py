@@ -130,7 +130,8 @@ def deep_lint_paths(paths, docs_dir: str | None = None,
         from .catalogue import ApiDoc
 
         api = ApiDoc(path=_relative(api_path, root))
-    contracts = Contracts(catalogue=catalogue, api=api, package=package)
+    contracts = Contracts(catalogue=catalogue, api=api, package=package,
+                          root=root)
 
     for rule in (DEEP_RULES if rules is None else rules):
         findings.extend(rule.check(model, contracts))

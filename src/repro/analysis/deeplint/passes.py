@@ -41,6 +41,10 @@ class Contracts:
     #: top-level package name of the analyzed tree ("repro", or the
     #: fixture package under test)
     package: str
+    #: contract root every display path is relative to; rules that must
+    #: touch the filesystem (e.g. the scenario library) resolve against
+    #: it.  Empty when the caller passed absolute display paths.
+    root: str = ""
 
 
 class DeepRule:
@@ -427,15 +431,20 @@ class RngStreamRule(DeepRule):
 class ApiSurfaceRule(DeepRule):
     """DL103: the code and docs/API.md declare the same stable surface.
 
-    Cross-checks four claims: every module API.md documents exists and
+    Cross-checks five claims: every module API.md documents exists and
     snapshots its surface in a literal ``__all__``; every row of a
     deprecation table still has a live shim (the old name appears in the
     shim module, typically as the ``__getattr__`` dispatch key); no
     internal code imports a table's old spelling or calls a deprecated
     callable (the shims exist for *downstream* callers — internal use
-    means the migration regressed); and every ``*Config`` front door the
+    means the migration regressed); every ``*Config`` front door the
     doc names is a frozen dataclass, because the caching and manifest
-    layers key on config values being immutable.
+    layers key on config values being immutable; and, when the doc
+    declares a ``<package>.scenarios`` front door, every bundled
+    ``library/*.yml`` matrix honours the structural contract (kebab
+    stem, ``name`` matching the stem, a non-empty ``experiment``, a
+    ``smoke`` mapping, and yamlite-parseable) so ``scenario list``
+    cannot break at runtime on a file nobody loads in CI.
     """
 
     code = "DL103"
@@ -590,6 +599,80 @@ class ApiSurfaceRule(DeepRule):
                             return True
         return False
 
+    _YML_STEM_RE = re.compile(r"^[a-z0-9][a-z0-9-]*$")
+
+    def _check_scenario_library(self, program: ProgramModel,
+                                contracts: Contracts) -> Iterator[Finding]:
+        import os
+        import posixpath
+
+        # The scenario front door (and thus the library contract) is
+        # opt-in: only packages whose API.md documents a `.scenarios`
+        # module are held to it.
+        scenarios_module = f"{contracts.package}.scenarios"
+        if scenarios_module not in contracts.api.documented_modules:
+            return
+        info = program.modules.get(scenarios_module)
+        if info is None:
+            return  # _check_documented_modules already flagged this
+        # info.path is a display path relative to the contract root;
+        # resolve it back to the filesystem before probing for library/.
+        pkg_dir = os.path.dirname(os.path.join(contracts.root, info.path))
+        library = os.path.join(pkg_dir, "library")
+        if not os.path.isdir(library):
+            yield self.doc_finding(
+                info.path, 1,
+                f"'{scenarios_module}' is documented as the scenario "
+                f"front door but ships no library/ directory of "
+                f"bundled matrices")
+            return
+        # Structural checks only — experiment registries and fault-plan
+        # names are runtime properties the loader validates; this pass
+        # catches the file-shape drift a static reader can see.
+        from ...scenarios import yamlite
+
+        lib_display = posixpath.join(
+            posixpath.dirname(info.path), "library")
+        for entry in sorted(os.listdir(library)):
+            if not entry.endswith(".yml"):
+                continue
+            fs_path = os.path.join(library, entry)
+            path = posixpath.join(lib_display, entry)
+            stem = entry[:-len(".yml")]
+            if not self._YML_STEM_RE.match(stem):
+                yield self.doc_finding(
+                    path, 1,
+                    f"scenario file name '{entry}' must be kebab-case "
+                    f"([a-z0-9-].yml)")
+            try:
+                with open(fs_path, encoding="utf-8") as fh:
+                    doc = yamlite.loads(fh.read())
+            except yamlite.YamliteError as exc:
+                yield self.doc_finding(
+                    path, exc.line,
+                    f"bundled scenario does not parse: {exc}")
+                continue
+            if not isinstance(doc, dict):
+                yield self.doc_finding(
+                    path, 1, "bundled scenario must be a mapping")
+                continue
+            if doc.get("name") != stem:
+                yield self.doc_finding(
+                    path, 1,
+                    f"scenario name {doc.get('name')!r} must match the "
+                    f"file stem '{stem}' (the `scenario run` handle)")
+            experiment = doc.get("experiment")
+            if not isinstance(experiment, str) or not experiment:
+                yield self.doc_finding(
+                    path, 1,
+                    "bundled scenario needs a non-empty 'experiment' "
+                    "naming its base spec")
+            if not isinstance(doc.get("smoke"), dict):
+                yield self.doc_finding(
+                    path, 1,
+                    "bundled scenario needs a 'smoke' mapping (the "
+                    "CI-sized variant every library entry must ship)")
+
     def check(self, program: ProgramModel,
               contracts: Contracts) -> Iterator[Finding]:
         api = contracts.api
@@ -597,6 +680,7 @@ class ApiSurfaceRule(DeepRule):
         yield from self._check_shims(program, api)
         yield from self._check_internal_use(program, api)
         yield from self._check_frozen_configs(program, api)
+        yield from self._check_scenario_library(program, contracts)
 
 
 # ---------------------------------------------------------------------------

@@ -25,6 +25,11 @@ Examples::
     python -m repro experiment run fig04-contiguity-cdf --seed 7
     python -m repro experiment sweep fleet-survey --manifest sweep.json
     python -m repro experiment report fig06-sources --json
+    python -m repro scenario list         # bundled scenario matrices
+    python -m repro scenario show uce-degrade --smoke
+    python -m repro scenario run fragmentation-aging --smoke
+    python -m repro scenario run steady-web --set design=nc --html r.html
+    python -m repro scenario report crash-restart-soak --smoke
 
 Shared options (``--seed``, ``--workers``, ``--json``, ``--manifest``)
 are declared once on parent parsers so every verb spells and validates
@@ -613,7 +618,7 @@ def _cmd_experiment_list(args) -> None:
             [{"name": s.name, "description": s.description,
               "figure": s.figure, "seed": s.seed, "version": s.version,
               "defaults": dict(s.defaults),
-              "grid": {k: list(v) for k, v in sorted(s.grid.items())},
+              "axes": [axis.snapshot() for axis in s.axes],
               "cells": len(s.cells())}
              for s in specs], indent=2, sort_keys=True))
         return
@@ -648,6 +653,32 @@ def _cmd_experiment_sweep(args) -> None:
 
     from .experiments import run_sweep
 
+    if args.matrix:
+        # Compatibility bridge: sweeping a matrix file is really a
+        # scenario run (same cells, same cache entries).
+        if args.name or args.set or args.plan:
+            raise SystemExit(
+                "repro: --matrix runs a whole scenario file; it takes "
+                "no NAME, --set, or --plan (pin axes with "
+                "`repro scenario run --set AXIS=VALUE`)")
+        print("# note: `repro experiment sweep --matrix` is a "
+              "compatibility bridge; prefer `repro scenario run "
+              f"--matrix {args.matrix}`", file=sys.stderr)
+        from .scenarios import ScenarioConfig, load_matrix, run_scenario
+
+        result = run_scenario(
+            ScenarioConfig(scenario=load_matrix(args.matrix),
+                           seed=args.seed, workers=args.workers,
+                           force=args.force,
+                           checkpoint_every=args.checkpoint_every),
+            cache=_experiment_cache(args),
+            manifest_path=args.manifest)
+        _print_scenario(result, args)
+        return
+    if not args.name:
+        raise SystemExit(
+            "repro: a spec NAME (see `repro experiment list`) or "
+            "--matrix FILE is required")
     sweep = run_sweep(
         args.name, overrides=_parse_sets(args.set), seed=args.seed,
         workers=args.workers, plan=_resolve_plan(args.plan),
@@ -690,6 +721,160 @@ def _cmd_experiment_report(args) -> None:
             f"no cached result for {args.name!r} with this config/seed; "
             f"run `repro experiment run {args.name}` first")
     _print_experiment(result, args.json)
+
+
+def _scenario_target(args):
+    """The scenario a ``repro scenario`` verb addresses: a bundled name
+    or a ``--matrix`` file, never both."""
+    from .scenarios import get_scenario, load_matrix
+
+    if args.matrix:
+        if args.name:
+            raise SystemExit(
+                "repro: give a bundled scenario NAME or --matrix FILE, "
+                "not both")
+        return load_matrix(args.matrix)
+    if not args.name:
+        raise SystemExit(
+            "repro: a scenario NAME (see `repro scenario list`) or "
+            "--matrix FILE is required")
+    return get_scenario(args.name)
+
+
+def _parse_axis_pins(pairs: list[str] | None) -> dict:
+    """``--set AXIS=VALUE`` pairs as axis -> value-id pins.  Unlike the
+    experiment verbs' config overrides these are cell-id fragments, so
+    both sides stay strings (``--set rate_krps=1000`` pins value id
+    ``"1000"``)."""
+    pins = {}
+    for pair in pairs or []:
+        axis, sep, value = pair.partition("=")
+        if not sep or not axis or not value:
+            raise SystemExit(f"--set expects AXIS=VALUE, got {pair!r}")
+        pins[axis] = value
+    return pins
+
+
+def _scenario_config(args, scenario):
+    from .scenarios import ScenarioConfig
+
+    return ScenarioConfig(
+        scenario=scenario,
+        smoke=args.smoke,
+        seed=args.seed,
+        workers=getattr(args, "workers", None),
+        cells=tuple(args.cell or ()),
+        select=_parse_axis_pins(args.set),
+        force=getattr(args, "force", False),
+        checkpoint_every=getattr(args, "checkpoint_every", 0))
+
+
+def _print_scenario(result, args) -> None:
+    """Report/rows to stdout, cache status to stderr, HTML to ``--html``
+    — stdout stays byte-identical whether cells computed or hit the
+    cache (the scenario-smoke CI job diffs exactly this)."""
+    import sys
+
+    variant = " (smoke)" if result.matrix.smoke else ""
+    print(f"# scenario {result.matrix.scenario}{variant}: "
+          f"{len(result.cells)} cell(s), {result.n_cached} cached",
+          file=sys.stderr)
+    if args.json:
+        import json
+
+        print(json.dumps(
+            [{"cell": cell.id, "config": r.config, "seed": r.seed,
+              "key": r.key, "cached": r.cached, "rows": r.rows}
+             for cell, r in zip(result.cells, result.results)],
+            indent=2, sort_keys=True))
+    else:
+        print(result.report())
+    html = getattr(args, "html", None)
+    if html:
+        with open(html, "w", encoding="utf-8") as fh:
+            fh.write(result.report_html())
+        print(f"# HTML report written to {html}", file=sys.stderr)
+
+
+def _cmd_scenario_list(args) -> None:
+    from .scenarios import list_scenarios
+
+    scenarios = list_scenarios()
+    if args.json:
+        import json
+
+        print(json.dumps(
+            [{"name": s.name, "description": s.description,
+              "experiment": s.experiment, "plan": s.plan,
+              "replicas": s.replicas,
+              "cells": len(s.matrix().cells()),
+              "smoke_cells": (len(s.matrix(smoke=True).cells())
+                              if s.smoke is not None else None)}
+             for s in scenarios], indent=2, sort_keys=True))
+        return
+    print(format_table(
+        ["Name", "Experiment", "Cells", "Smoke", "Plan", "Description"],
+        [(s.name, s.experiment, str(len(s.matrix().cells())),
+          str(len(s.matrix(smoke=True).cells()))
+          if s.smoke is not None else "-",
+          s.plan or "-", s.description)
+         for s in scenarios],
+        title="Bundled scenarios (repro scenario run <name>)"))
+
+
+def _cmd_scenario_show(args) -> None:
+    scenario = _scenario_target(args)
+    matrix = scenario.matrix(smoke=args.smoke)
+    cells = matrix.compile()
+    if args.json:
+        import json
+
+        print(json.dumps(
+            {**matrix.snapshot(),
+             "description": matrix.description,
+             "cells": [cell.snapshot() for cell in cells]},
+            indent=2, sort_keys=True))
+        return
+    variant = " (smoke)" if matrix.smoke else ""
+    print(f"{matrix.scenario}{variant}: {matrix.description}")
+    print(f"experiment={matrix.experiment} plan={matrix.plan or '-'} "
+          f"replicas={matrix.replicas}")
+    if matrix.options:
+        print("options: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(matrix.options.items())))
+    print(format_table(
+        ["Cell", "Coordinates", "Overrides", "Plan"],
+        [(cell.id,
+          ", ".join(f"{a}={v}" for a, v in cell.coords) or "-",
+          ", ".join(f"{k}={v}"
+                    for k, v in sorted(cell.overrides.items())) or "-",
+          matrix.cell_plan(cell) or "-")
+         for cell in cells],
+        title=f"Cells ({len(cells)})"))
+
+
+def _cmd_scenario_run(args) -> None:
+    from .scenarios import run_scenario
+
+    result = run_scenario(
+        _scenario_config(args, _scenario_target(args)),
+        cache=_experiment_cache(args),
+        manifest_path=args.manifest)
+    _print_scenario(result, args)
+    if args.manifest:
+        import sys
+
+        print(f"# scenario manifest written to {args.manifest}",
+              file=sys.stderr)
+
+
+def _cmd_scenario_report(args) -> None:
+    from .scenarios import load_scenario
+
+    result = load_scenario(
+        _scenario_config(args, _scenario_target(args)),
+        cache=_experiment_cache(args))
+    _print_scenario(result, args)
 
 
 def _store_names(directory: str) -> list[str]:
@@ -1067,10 +1252,17 @@ def build_parser() -> argparse.ArgumentParser:
                             parents=[_common_options(json_flag=True)])
     elist.set_defaults(fn=_cmd_experiment_list)
 
-    def _experiment_cell_options(cell_parser, *, force: bool) -> None:
+    def _experiment_cell_options(cell_parser, *, force: bool,
+                                 name_optional: bool = False) -> None:
         """Options shared by run/sweep/report beyond the common set."""
-        cell_parser.add_argument("name", metavar="NAME",
-                                 help="spec name (see `experiment list`)")
+        if name_optional:
+            cell_parser.add_argument(
+                "name", metavar="NAME", nargs="?", default=None,
+                help="spec name (see `experiment list`)")
+        else:
+            cell_parser.add_argument(
+                "name", metavar="NAME",
+                help="spec name (see `experiment list`)")
         cell_parser.add_argument(
             "--set", action="append", metavar="KEY=VALUE",
             help="config override (JSON scalar; repeatable)")
@@ -1107,11 +1299,15 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run a spec's whole parameter grid (resumable)",
         parents=[_common_options(seed=None, workers=True,
                                  json_flag=True, manifest=True)])
-    _experiment_cell_options(esweep, force=True)
+    _experiment_cell_options(esweep, force=True, name_optional=True)
     esweep.add_argument(
         "--checkpoint-every", type=int, default=0, metavar="N",
         help="mid-cell durability within each grid cell (see "
              "`experiment run --checkpoint-every`)")
+    esweep.add_argument(
+        "--matrix", metavar="FILE", default=None,
+        help="sweep a scenario matrix file instead of a spec's grid "
+             "(compatibility bridge for `repro scenario run --matrix`)")
     esweep.set_defaults(fn=_cmd_experiment_sweep)
 
     ereport = esub.add_parser(
@@ -1119,6 +1315,73 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[_common_options(seed=None, json_flag=True)])
     _experiment_cell_options(ereport, force=False)
     ereport.set_defaults(fn=_cmd_experiment_report)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="declarative scenario matrices (bundled library or files)")
+    ssub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    slist = ssub.add_parser("list", help="bundled scenario library",
+                            parents=[_common_options(json_flag=True)])
+    slist.set_defaults(fn=_cmd_scenario_list)
+
+    def _scenario_target_options(target_parser) -> None:
+        """Options every scenario-addressing verb shares."""
+        target_parser.add_argument(
+            "name", metavar="NAME", nargs="?", default=None,
+            help="bundled scenario name (see `scenario list`)")
+        target_parser.add_argument(
+            "--matrix", metavar="FILE", default=None,
+            help="use a scenario matrix file instead of a bundled name")
+        target_parser.add_argument(
+            "--smoke", action="store_true",
+            help="the scenario's CI-sized smoke variant")
+
+    def _scenario_select_options(target_parser, *, force: bool) -> None:
+        """Cell-selection and cache options for run/report."""
+        target_parser.add_argument(
+            "--cell", action="append", metavar="ID",
+            help="only this cell id (repeatable; see `scenario show`)")
+        target_parser.add_argument(
+            "--set", action="append", metavar="AXIS=VALUE",
+            help="pin an axis to one value id (repeatable)")
+        target_parser.add_argument(
+            "--cache-dir", metavar="PATH", default=None,
+            help="result cache root (default: benchmarks/results/cache "
+                 "or $REPRO_EXPERIMENT_CACHE)")
+        target_parser.add_argument(
+            "--html", metavar="PATH", default=None,
+            help="also write the report as standalone HTML to PATH")
+        if force:
+            target_parser.add_argument(
+                "--force", action="store_true",
+                help="recompute and overwrite even on cache hits")
+
+    sshow = ssub.add_parser(
+        "show", help="a scenario's compiled matrix and cell ids",
+        parents=[_common_options(json_flag=True)])
+    _scenario_target_options(sshow)
+    sshow.set_defaults(fn=_cmd_scenario_show)
+
+    srun = ssub.add_parser(
+        "run", help="run every selected cell of a scenario (cache-aware)",
+        parents=[_common_options(seed=None, workers=True,
+                                 json_flag=True, manifest=True)])
+    _scenario_target_options(srun)
+    _scenario_select_options(srun, force=True)
+    srun.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="mid-cell durability within each cell (see "
+             "`experiment run --checkpoint-every`)")
+    srun.set_defaults(fn=_cmd_scenario_run)
+
+    sreport = ssub.add_parser(
+        "report", help="render a scenario report from cache, computing "
+                       "nothing",
+        parents=[_common_options(seed=None, json_flag=True)])
+    _scenario_target_options(sreport)
+    _scenario_select_options(sreport, force=False)
+    sreport.set_defaults(fn=_cmd_scenario_report)
 
     checkpoint = sub.add_parser(
         "checkpoint", help="inspect or resume durable run checkpoints")

@@ -24,6 +24,14 @@ from .cache import (
     default_cache_dir,
     result_key,
 )
+from .grid import (
+    Axis,
+    AxisValue,
+    Cell,
+    axes_from_grid,
+    expand_axes,
+    value_id,
+)
 from .runner import (
     ExperimentResult,
     SweepResult,
@@ -44,16 +52,21 @@ from .spec import (
 from . import builtin as _builtin  # noqa: F401
 
 __all__ = [
+    "Axis",
+    "AxisValue",
     "CACHE_ENV",
     "CACHE_SCHEMA",
+    "Cell",
     "ExperimentContext",
     "ExperimentResult",
     "ExperimentSpec",
     "ResultCache",
     "SweepResult",
     "all_specs",
+    "axes_from_grid",
     "canonical_json",
     "default_cache_dir",
+    "expand_axes",
     "get_spec",
     "load_cached",
     "register",
@@ -61,4 +74,5 @@ __all__ = [
     "run_experiment",
     "run_sweep",
     "unregister",
+    "value_id",
 ]

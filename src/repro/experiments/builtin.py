@@ -15,6 +15,7 @@ dicts of floats); rendering to the figure tables happens in
 
 from __future__ import annotations
 
+from .grid import axes_from_grid
 from .spec import ExperimentContext, ExperimentSpec, register
 
 #: The scan-report granularities every figure iterates.
@@ -147,7 +148,7 @@ FLEET_SURVEY = register(ExperimentSpec(
                 "the §2.4 uptime study",
     producer=_produce_fleet_survey,
     defaults=_SURVEY_DEFAULTS,
-    grid={"n_servers": (6, 12, 24)},
+    axes=axes_from_grid({"n_servers": (6, 12, 24)}),
     seed=11,
     figure="Figs. 4-6, §2.4",
 ))
@@ -158,7 +159,7 @@ FIG04 = register(ExperimentSpec(
     producer=_produce_fig04,
     defaults={"n_servers": _SURVEY_DEFAULTS["n_servers"],
               "mem_mib": _SURVEY_DEFAULTS["mem_mib"]},
-    grid={"n_servers": (6, 12, 24)},
+    axes=axes_from_grid({"n_servers": (6, 12, 24)}),
     seed=11,
     figure="Fig. 4",
     postprocess=_report_fig04,
@@ -170,7 +171,7 @@ FIG06 = register(ExperimentSpec(
     producer=_produce_fig06,
     defaults={"n_servers": _SURVEY_DEFAULTS["n_servers"],
               "mem_mib": _SURVEY_DEFAULTS["mem_mib"]},
-    grid={"n_servers": (6, 12, 24)},
+    axes=axes_from_grid({"n_servers": (6, 12, 24)}),
     seed=11,
     figure="Fig. 6",
     postprocess=_report_fig06,
@@ -244,12 +245,69 @@ TAIL_LATENCY = register(ExperimentSpec(
         # (noncacheable > cacheable ≈ none at p99) is robust to seed.
         "buffer_pages": 8,
     },
-    grid={
+    axes=axes_from_grid({
         "design": ("noncacheable", "cacheable", "none"),
         "rate_krps": (1000, 2000),
         "app": ("nginx", "memcached"),
-    },
+    }),
     seed=17,
     figure="Fig. 13 / §5.3",
     postprocess=_report_tail_latency,
+))
+
+
+def _produce_workload_steady(ctx: ExperimentContext) -> list:
+    """One steady-state workload run per cell (the scenario library's
+    churn/thrash/aging base): a single snapshot row carrying coverage,
+    fragmentation, and the full vmstat counter set."""
+    from ..units import MiB
+    from ..workloads import WorkloadConfig, run_workload
+
+    p = ctx.params
+    result = run_workload(
+        WorkloadConfig(
+            service=p["service"],
+            kernel=p["kernel"],
+            mem_bytes=MiB(p["mem_mib"]),
+            steps=p["steps"],
+            seed=ctx.seed,
+        ),
+        checkpoint_every=ctx.checkpoint_every,
+        checkpoint_dir=ctx.checkpoint_dir,
+        resume=ctx.checkpoint_dir is not None)
+    return [result.snapshot()]
+
+
+def _report_workload_steady(rows: list, config: dict) -> str:
+    from ..analysis import format_table, percent
+
+    return format_table(
+        ["Service", "Kernel", "Steps", "THP 2M", "1G", "Unmovable",
+         "Free frames"],
+        [(row["service"], row["kernel"], str(row["steps"]),
+          percent(row["huge_coverage"]["2m"]),
+          percent(row["huge_coverage"]["1g"]),
+          percent(row["unmovable_fraction"]),
+          f"{row['free_frames']:,}")
+         for row in rows],
+        title="Steady-state fragmentation after churn "
+              "(Mansi & Swift-style aging)",
+    )
+
+
+WORKLOAD_STEADY = register(ExperimentSpec(
+    name="workload-steady",
+    description="Single-server steady-state churn: coverage, "
+                "fragmentation, and vmstat after N workload steps",
+    producer=_produce_workload_steady,
+    defaults={
+        "service": "cache-b",
+        "kernel": "linux",
+        "mem_mib": 128,
+        "steps": 200,
+    },
+    axes=axes_from_grid({"kernel": ("linux", "contiguitas")}),
+    seed=13,
+    figure="§2.4 churn / scenario library",
+    postprocess=_report_workload_steady,
 ))

@@ -251,8 +251,7 @@ def run_sweep(name: str,
         kind="experiment-sweep", spec=spec,
         seed=spec.seed if seed is None else seed, plan=plan,
         metrics=metrics, cache=cache,
-        config_extra={"grid": {k: list(v) for k, v in
-                               sorted(spec.grid.items())},
+        config_extra={"axes": [axis.snapshot() for axis in spec.axes],
                       "overrides": dict(overrides or {})},
         aggregates={"cells_total": len(results),
                     "cells_cached": sweep.n_cached,

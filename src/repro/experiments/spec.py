@@ -7,8 +7,10 @@ derived from a small number of expensive steady-state runs.  An
 * a **name** (the CLI handle: ``repro experiment run <name>``);
 * **defaults** — the resolved configuration, a flat dict of JSON
   scalars, every key overridable from the CLI (``--set key=value``);
-* a **grid** — per-parameter value tuples that ``repro experiment
-  sweep`` fans out cell by cell;
+* **axes** — named :class:`~repro.experiments.grid.Axis` dimensions
+  that ``repro experiment sweep`` fans out cell by cell through the
+  shared grid engine (legacy per-parameter ``grid`` dicts convert via
+  a warn-once shim, see docs/API.md);
 * a **seed policy** — the spec's default base seed, overridable per run;
 * a **producer** — the function that actually simulates, returning
   JSON-serialisable result rows (cached content-addressed, see
@@ -27,17 +29,30 @@ cost one simulation.
 
 from __future__ import annotations
 
-import itertools
 import re
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from ..errors import ConfigurationError
+from .grid import Axis, axes_from_grid, expand_axes
 
 _NAME_RE = re.compile(r"^[a-z0-9][a-z0-9-]*$")
 
 #: Parameter values must be flat JSON scalars so configs hash stably.
 _SCALARS = (str, int, float, bool, type(None))
+
+#: Deprecation keys that already warned this process (warn-once policy,
+#: docs/API.md): the first ``grid=`` spec warns, later ones are silent
+#: so ``-W error`` sweeps over many specs do not die mid-registration.
+_DEPRECATION_WARNED: set[str] = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=4)
 
 
 @dataclass(frozen=True)
@@ -76,6 +91,7 @@ class ExperimentSpec:
     producer: Callable[[ExperimentContext], list]
     defaults: Mapping[str, Any] = field(default_factory=dict)
     grid: Mapping[str, tuple] = field(default_factory=dict)
+    axes: tuple[Axis, ...] = ()
     seed: int = 0
     version: int = 1
     figure: str = ""
@@ -94,6 +110,10 @@ class ExperimentSpec:
                 raise ConfigurationError(
                     f"experiment {self.name!r}: default {key}={value!r} "
                     "is not a JSON scalar (configs must hash stably)")
+        if self.grid and self.axes:
+            raise ConfigurationError(
+                f"experiment {self.name!r}: declare axes= or the legacy "
+                "grid=, not both")
         for key, values in self.grid.items():
             if key not in self.defaults:
                 raise ConfigurationError(
@@ -107,6 +127,31 @@ class ExperimentSpec:
                     raise ConfigurationError(
                         f"experiment {self.name!r}: grid value "
                         f"{key}={value!r} is not a JSON scalar")
+        if self.grid:
+            # Legacy grid dicts compile through the shared Axis/Cell
+            # engine (one axis per parameter) behind a warn-once shim.
+            _warn_once(
+                "ExperimentSpec.grid",
+                "ExperimentSpec(grid={...}) is deprecated; declare "
+                "axes=(Axis(...), ...) — grids and scenario matrices "
+                "now share one cell engine (docs/API.md)")
+            object.__setattr__(self, "axes", axes_from_grid(self.grid))
+        else:
+            for axis in self.axes:
+                if not isinstance(axis, Axis):
+                    raise ConfigurationError(
+                        f"experiment {self.name!r}: axes must be Axis "
+                        f"instances, got {type(axis).__name__}")
+                for value in axis.values:
+                    for key in value.options:
+                        if key not in self.defaults:
+                            raise ConfigurationError(
+                                f"experiment {self.name!r}: axis "
+                                f"{axis.name!r} overrides parameter "
+                                f"{key!r} with no default; known: "
+                                f"{sorted(self.defaults)}")
+            object.__setattr__(self, "axes", tuple(self.axes))
+        expand_axes(self.axes)  # fail fast on duplicate/colliding axes
         if self.version < 1:
             raise ConfigurationError(
                 f"experiment {self.name!r}: version must be >= 1")
@@ -127,15 +172,16 @@ class ExperimentSpec:
         return config
 
     def cells(self) -> list[dict]:
-        """Every grid combination as an override dict, in a fixed order
-        (sorted keys, value order as declared) so sweeps are resumable
-        and their manifests comparable."""
-        if not self.grid:
-            return [{}]
-        keys = sorted(self.grid)
-        return [dict(zip(keys, combo))
-                for combo in itertools.product(
-                    *(self.grid[k] for k in keys))]
+        """Every axis combination as an override dict, in a fixed order
+        (sorted axis names, value order as declared) so sweeps are
+        resumable and their manifests comparable.  Legacy grid dicts
+        compile to the identical cell list (one axis per parameter)."""
+        return [dict(cell.overrides) for cell in expand_axes(self.axes)]
+
+    def grid_cells(self):
+        """The full :class:`~repro.experiments.grid.Cell` records
+        (deterministic ids included) behind :meth:`cells`."""
+        return expand_axes(self.axes)
 
 
 #: The process-wide spec registry (built-ins register on import;

@@ -157,6 +157,19 @@ NAMED_PLANS: dict[str, FaultPlan] = {
     "uce": FaultPlan("uce", (
         FaultSpec("mm.memory.uce", rate=0.02, max_fires=4),
     )),
+    # Memory hotplug churn: regions repeatedly leave and rejoin service,
+    # so evacuation-style migrations hit busy refcounts and the buddy
+    # allocator sees transient watermark failures while capacity is out.
+    "hotplug-churn": FaultPlan("hotplug-churn", (
+        FaultSpec("mm.migrate.busy", rate=0.08),
+        FaultSpec("mm.buddy.watermark", rate=0.02, skip=20),
+    )),
+    # Allocation-pressure storm: after a grace window the buddy
+    # allocator fails a large fraction of attempts, forcing the reclaim
+    # and compaction escalation paths an OOM-adjacent fleet would see.
+    "oom-storm": FaultPlan("oom-storm", (
+        FaultSpec("mm.buddy.watermark", rate=0.25, skip=100),
+    )),
     # Crash-recovery harness: the first checkpoint write dies before its
     # atomic rename (both earlier generations must survive), then the
     # run itself is killed at the next checkpoint boundary.  Resuming

@@ -1,0 +1,201 @@
+"""Scenario matrices from yamlite text to :class:`Scenario` objects.
+
+The text form is the elba-style matrix file (see EXPERIMENTS.md)::
+
+    name: uce-degrade
+    description: clean fleet vs one with uncorrectable memory errors
+    experiment: fleet-survey
+    options:
+      mem_mib: 256
+    axes:
+      - name: faults
+        values:
+          - id: clean
+          - id: uce
+            plan: uce
+    smoke:
+      options:
+        mem_mib: 64
+
+Axis values come in two spellings: a bare scalar (``- 24``) sets the
+parameter named after the axis (id derived via
+:func:`~repro.experiments.value_id`), and a mapping gives the value an
+explicit ``id`` plus any ``value`` / ``options`` / ``plan`` it implies.
+Unknown keys anywhere are rejected with the source file named, so a
+typo'd matrix fails at load, not mid-sweep.
+
+The bundled library (``repro scenario list``) lives next to this
+module in ``library/*.yml``; each file's stem is its scenario name,
+a contract the deep linter's DL103 pass enforces.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import ConfigurationError
+from ..experiments.grid import Axis, AxisValue, value_id
+from .model import Scenario, Smoke
+from . import yamlite
+
+__all__ = [
+    "get_scenario",
+    "library_dir",
+    "list_scenarios",
+    "load_matrix",
+    "scenario_from_dict",
+]
+
+
+def _require_mapping(doc, what: str, source: str) -> dict:
+    if not isinstance(doc, dict):
+        raise ConfigurationError(
+            f"{source}: {what} must be a mapping, got "
+            f"{type(doc).__name__}")
+    return doc
+
+
+def _reject_unknown(doc: dict, known: tuple[str, ...], what: str,
+                    source: str) -> None:
+    unknown = sorted(set(doc) - set(known))
+    if unknown:
+        raise ConfigurationError(
+            f"{source}: unknown {what} key(s) "
+            + ", ".join(repr(k) for k in unknown)
+            + "; known: " + ", ".join(known))
+
+
+def _parse_axis_value(axis_name: str, raw, source: str) -> AxisValue:
+    if not isinstance(raw, dict):
+        # Bare scalar: the value of the parameter the axis is named for.
+        return AxisValue(id=value_id(raw), options={axis_name: raw})
+    _reject_unknown(raw, ("id", "value", "options", "plan"),
+                    f"axis {axis_name!r} value", source)
+    options = dict(_require_mapping(raw.get("options") or {}, "options",
+                                    source))
+    if "value" in raw:
+        options.setdefault(axis_name, raw["value"])
+    id_ = raw.get("id")
+    if id_ is None:
+        if "value" not in raw:
+            raise ConfigurationError(
+                f"{source}: axis {axis_name!r} mapping value needs an "
+                "'id' (or a 'value' to derive one from)")
+        id_ = value_id(raw["value"])
+    return AxisValue(id=id_, options=options, plan=raw.get("plan"))
+
+
+def _parse_axes(raw, source: str) -> tuple[Axis, ...]:
+    if raw is None:
+        return ()
+    if not isinstance(raw, list):
+        raise ConfigurationError(
+            f"{source}: axes must be a list of mappings, got "
+            f"{type(raw).__name__}")
+    axes = []
+    for entry in raw:
+        entry = _require_mapping(entry, "axis", source)
+        _reject_unknown(entry, ("name", "values"), "axis", source)
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError(
+                f"{source}: every axis needs a non-empty 'name'")
+        values = entry.get("values")
+        if not isinstance(values, list) or not values:
+            raise ConfigurationError(
+                f"{source}: axis {name!r} needs a non-empty 'values' "
+                "list")
+        axes.append(Axis(name, tuple(
+            _parse_axis_value(name, v, source) for v in values)))
+    return tuple(axes)
+
+
+def _parse_smoke(raw, source: str) -> Smoke | None:
+    if raw is None:
+        return None
+    raw = _require_mapping(raw, "smoke", source)
+    _reject_unknown(raw, ("options", "axes", "replicas"), "smoke", source)
+    return Smoke(
+        options=_require_mapping(raw.get("options") or {},
+                                 "smoke options", source),
+        axes=_parse_axes(raw.get("axes"), source),
+        replicas=raw.get("replicas"))
+
+
+_TOP_KEYS = ("name", "description", "experiment", "options", "axes",
+             "replicas", "plan", "seed", "prefix", "smoke")
+
+
+def scenario_from_dict(doc, source: str = "<matrix>") -> Scenario:
+    """Build a validated :class:`Scenario` from one parsed matrix."""
+    doc = _require_mapping(doc, "a scenario matrix", source)
+    _reject_unknown(doc, _TOP_KEYS, "scenario", source)
+    for required in ("name", "description", "experiment"):
+        if required not in doc:
+            raise ConfigurationError(
+                f"{source}: scenario is missing required key "
+                f"{required!r}")
+    return Scenario(
+        name=doc["name"],
+        description=doc["description"],
+        experiment=doc["experiment"],
+        options=_require_mapping(doc.get("options") or {}, "options",
+                                 source),
+        axes=_parse_axes(doc.get("axes"), source),
+        replicas=doc.get("replicas", 1),
+        plan=doc.get("plan"),
+        seed=doc.get("seed"),
+        prefix=doc.get("prefix", ""),
+        smoke=_parse_smoke(doc.get("smoke"), source),
+        source=source)
+
+
+def load_matrix(path: str) -> Scenario:
+    """Parse and validate the matrix file at *path*."""
+    try:
+        doc = yamlite.load(path)
+    except yamlite.YamliteError as exc:
+        raise ConfigurationError(f"{path}: {exc}") from None
+    return scenario_from_dict(doc, source=path)
+
+
+def library_dir() -> str:
+    """The bundled scenario library's directory."""
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "library")
+
+
+def list_scenarios() -> list[Scenario]:
+    """Every bundled library scenario, name-sorted.
+
+    The library is small and each file is pure data, so parsing all of
+    them on demand beats caching (tests monkeypatch the directory)."""
+    scenarios = []
+    root = library_dir()
+    for entry in sorted(os.listdir(root)):
+        if not entry.endswith(".yml"):
+            continue
+        scenario = load_matrix(os.path.join(root, entry))
+        stem = entry[:-len(".yml")]
+        if scenario.name != stem:
+            raise ConfigurationError(
+                f"{os.path.join(root, entry)}: scenario name "
+                f"{scenario.name!r} must match the file stem {stem!r}")
+        scenarios.append(scenario)
+    return scenarios
+
+
+def get_scenario(name: str) -> Scenario:
+    """The bundled scenario called *name*; unknown names list what
+    exists (same contract as ``repro.experiments.get_spec``)."""
+    path = os.path.join(library_dir(), f"{name}.yml")
+    if os.path.isfile(path):
+        scenario = load_matrix(path)
+        if scenario.name == name:
+            return scenario
+    known = sorted(
+        entry[:-len(".yml")] for entry in os.listdir(library_dir())
+        if entry.endswith(".yml"))
+    raise ConfigurationError(
+        f"unknown scenario {name!r}; bundled: "
+        + (", ".join(known) or "(none)"))

@@ -1,0 +1,251 @@
+"""Scenario comparison reports: a cells-by-metrics grid, twice.
+
+One collection pass flattens every cell's result rows to dotted numeric
+leaves (``contiguity.2MB``, ``latency.p99_us``, ``vmstat.pgmigrate_success``)
+and averages them per cell; the renderers then emit the identical grid
+as markdown and as a standalone HTML document:
+
+* the raw grid (cells x headline metrics);
+* deltas against the first cell (the matrix's declared baseline);
+* per-axis marginals — each axis value's mean over every cell that
+  picked it, the column-wise collapse that makes a 12-cell matrix
+  answer "what did the ``design`` axis do?" at a glance.
+
+Everything is a pure function of the result rows with stable float
+formatting, so reports are byte-identical across reruns, worker
+counts, and cache hits — the property CI's scenario-smoke job diffs.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Mapping
+
+__all__ = ["render_html", "render_markdown"]
+
+#: Headline-metric ordering: first match wins, earlier is better.
+#: Anything unmatched sorts after all of these, alphabetically.
+_PRIORITY = (
+    "contiguity.",
+    "p99_us",
+    "p999_us",
+    "p50_us",
+    "latency.",
+    "huge_coverage",
+    "unmovable",
+    "free_frames",
+    "free_2m",
+    "vmstat.pgmigrate",
+    "vmstat.compact",
+    "vmstat.",
+)
+
+#: Grid width cap: headline columns shown; the rest are counted.
+_MAX_METRICS = 10
+
+
+def _flatten(row, prefix: str = "", out: dict | None = None) -> dict:
+    """Dotted-path numeric leaves of one result row (bools excluded —
+    they are flags, not measurements)."""
+    if out is None:
+        out = {}
+    if isinstance(row, Mapping):
+        for key in sorted(row):
+            _flatten(row[key], f"{prefix}{key}.", out)
+    elif isinstance(row, (int, float)) and not isinstance(row, bool):
+        out[prefix[:-1]] = float(row)
+    return out
+
+
+def _cell_means(rows: list) -> dict:
+    """Per-metric mean across a cell's rows (rows lacking a metric do
+    not drag its mean toward zero)."""
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for row in rows:
+        for key, value in _flatten(row).items():
+            sums[key] = sums.get(key, 0.0) + value
+            counts[key] = counts.get(key, 0) + 1
+    return {key: sums[key] / counts[key] for key in sums}
+
+
+def _metric_rank(name: str) -> tuple:
+    for index, pattern in enumerate(_PRIORITY):
+        if pattern in name:
+            return (index, name)
+    return (len(_PRIORITY), name)
+
+
+def _collect(result):
+    """(headline metric names, hidden count, {cell id: means})."""
+    means = {r_cell.id: _cell_means(res.rows)
+             for r_cell, res in zip(result.cells, result.results)}
+    names: set[str] = set()
+    for cell_means in means.values():
+        names.update(cell_means)
+    ordered = sorted(names, key=_metric_rank)
+    return ordered[:_MAX_METRICS], max(0, len(ordered) - _MAX_METRICS), \
+        means
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _fmt_delta(value: float | None, base: float | None) -> str:
+    if value is None or base is None:
+        return "-"
+    delta = value - base
+    if delta == 0:
+        return "0"
+    return f"{delta:+.6g}"
+
+
+def _header_lines(result) -> list[str]:
+    matrix = result.matrix
+    variant = " (smoke)" if matrix.smoke else ""
+    plan = matrix.plan or "none"
+    return [
+        f"# Scenario: {matrix.scenario}{variant}",
+        "",
+        matrix.description,
+        "",
+        f"Experiment `{matrix.experiment}`, seed {result.seed}, "
+        f"plan {plan}, {len(result.cells)} cell(s).",
+    ]
+
+
+def _axis_marginals(result, means: dict, metrics: list[str]):
+    """Per axis: [(value id, n cells, {metric: mean-of-cell-means})]."""
+    marginals = []
+    for axis in sorted(result.matrix.axes, key=lambda a: a.name):
+        rows = []
+        for value in axis.values:
+            members = [cell.id for cell in result.cells
+                       if dict(cell.coords).get(axis.name) == value.id]
+            if not members:
+                continue
+            combined: dict[str, str] = {}
+            for metric in metrics:
+                picked = [means[cid][metric] for cid in members
+                          if metric in means[cid]]
+                combined[metric] = (sum(picked) / len(picked)
+                                    if picked else None)
+            rows.append((value.id, len(members), combined))
+        if rows:
+            marginals.append((axis.name, rows))
+    return marginals
+
+
+def _md_table(header: list[str], rows: list[list[str]]) -> list[str]:
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join(" --- " for _ in header) + "|"]
+    lines += ["| " + " | ".join(row) + " |" for row in rows]
+    return lines
+
+
+def render_markdown(result) -> str:
+    """The full comparison report as GitHub-flavoured markdown."""
+    metrics, hidden, means = _collect(result)
+    lines = _header_lines(result)
+
+    lines += ["", "## Cell grid", ""]
+    lines += _md_table(
+        ["cell"] + [f"`{m}`" for m in metrics],
+        [[f"`{cell.id}`"]
+         + [_fmt(means[cell.id].get(m)) for m in metrics]
+         for cell in result.cells])
+    if hidden:
+        lines.append(f"\n({hidden} further metric(s) not shown.)")
+
+    if len(result.cells) > 1:
+        base_id = result.cells[0].id
+        base = means[base_id]
+        lines += ["", f"## Delta vs baseline `{base_id}`", ""]
+        lines += _md_table(
+            ["cell"] + [f"`{m}`" for m in metrics],
+            [[f"`{cell.id}`"]
+             + [_fmt_delta(means[cell.id].get(m), base.get(m))
+                for m in metrics]
+             for cell in result.cells[1:]])
+
+    for axis_name, rows in _axis_marginals(result, means, metrics):
+        lines += ["", f"## Marginals by `{axis_name}`", ""]
+        lines += _md_table(
+            ["value", "cells"] + [f"`{m}`" for m in metrics],
+            [[f"`{value_id}`", str(n)]
+             + [_fmt(combined.get(m)) for m in metrics]
+             for value_id, n, combined in rows])
+
+    return "\n".join(lines) + "\n"
+
+
+def _html_table(header: list[str], rows: list[list[str]]) -> list[str]:
+    lines = ["<table>", "<tr>"]
+    lines += [f"<th>{escape(h)}</th>" for h in header]
+    lines.append("</tr>")
+    for row in rows:
+        lines.append("<tr>")
+        lines += [f"<td>{escape(cell)}</td>" for cell in row]
+        lines.append("</tr>")
+    lines.append("</table>")
+    return lines
+
+
+def render_html(result) -> str:
+    """The same report as a standalone, dependency-free HTML document."""
+    metrics, hidden, means = _collect(result)
+    matrix = result.matrix
+    variant = " (smoke)" if matrix.smoke else ""
+    lines = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset=\"utf-8\">",
+        f"<title>Scenario: {escape(matrix.scenario)}{variant}</title>",
+        "<style>",
+        "body { font-family: sans-serif; margin: 2em; }",
+        "table { border-collapse: collapse; margin: 1em 0; }",
+        "th, td { border: 1px solid #999; padding: 0.3em 0.6em;"
+        " text-align: right; }",
+        "th:first-child, td:first-child { text-align: left; }",
+        "</style></head><body>",
+        f"<h1>Scenario: {escape(matrix.scenario)}{escape(variant)}</h1>",
+        f"<p>{escape(matrix.description)}</p>",
+        f"<p>Experiment <code>{escape(matrix.experiment)}</code>, "
+        f"seed {result.seed}, plan {escape(matrix.plan or 'none')}, "
+        f"{len(result.cells)} cell(s).</p>",
+        "<h2>Cell grid</h2>",
+    ]
+    lines += _html_table(
+        ["cell"] + metrics,
+        [[cell.id] + [_fmt(means[cell.id].get(m)) for m in metrics]
+         for cell in result.cells])
+    if hidden:
+        lines.append(f"<p>({hidden} further metric(s) not shown.)</p>")
+
+    if len(result.cells) > 1:
+        base_id = result.cells[0].id
+        base = means[base_id]
+        lines.append(
+            f"<h2>Delta vs baseline <code>{escape(base_id)}</code></h2>")
+        lines += _html_table(
+            ["cell"] + metrics,
+            [[cell.id]
+             + [_fmt_delta(means[cell.id].get(m), base.get(m))
+                for m in metrics]
+             for cell in result.cells[1:]])
+
+    for axis_name, rows in _axis_marginals(result, means, metrics):
+        lines.append(
+            f"<h2>Marginals by <code>{escape(axis_name)}</code></h2>")
+        lines += _html_table(
+            ["value", "cells"] + metrics,
+            [[value_id, str(n)]
+             + [_fmt(combined.get(m)) for m in metrics]
+             for value_id, n, combined in rows])
+
+    lines.append("</body></html>")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,322 @@
+"""A strict YAML subset for scenario matrices: yamlite.
+
+The benchmark environment is offline, so the scenario library cannot
+depend on PyYAML.  Instead of vendoring a full parser we support the
+small, unambiguous subset the matrices actually need — and *reject*
+everything else with a typed, line-numbered error, so a file that
+parses here parses identically under any real YAML implementation:
+
+* block mappings (``key: value`` / ``key:`` + indented block);
+* block lists (``- item``, including ``- key: value`` inline-mapping
+  items, elba-style);
+* inline lists of scalars (``[1, 2, 3]``);
+* scalars: integers, floats, ``true``/``false``, ``null``/``~``,
+  single- or double-quoted strings, plain strings;
+* full-line and trailing ``#`` comments.
+
+Deliberately unsupported (typed :class:`YamliteError`): anchors and
+aliases, flow mappings, block scalars (``|``/``>``), multi-document
+streams, tabs in indentation, duplicate keys.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ConfigurationError
+
+__all__ = ["YamliteError", "load", "loads"]
+
+
+class YamliteError(ConfigurationError):
+    """A parse error with the 1-based source line that caused it."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+#: Unquoted mapping keys: word-ish, like every key the matrices use.
+_KEY_RE = re.compile(r"^[A-Za-z0-9_.-]+$")
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(
+    r"^[+-]?(\d+\.\d*|\.\d+|\d+([eE][+-]?\d+))([eE][+-]?\d+)?$")
+
+
+def load(path: str):
+    """Parse the yamlite document at *path* (see :func:`loads`)."""
+    with open(path, encoding="utf-8") as fh:
+        return loads(fh.read())
+
+
+def loads(text: str):
+    """Parse one yamlite document; an empty document is ``{}``."""
+    lines = _scan(text)
+    if not lines:
+        return {}
+    first_line, first_indent, _ = lines[0]
+    if first_indent != 0:
+        raise YamliteError("top-level content must not be indented",
+                           first_line)
+    value, nxt = _parse_block(lines, 0, 0)
+    if nxt != len(lines):
+        raise YamliteError("content at an unexpected indentation",
+                           lines[nxt][0])
+    return value
+
+
+# -- line scanning ----------------------------------------------------------
+
+
+def _scan(text: str) -> list[tuple[int, int, str]]:
+    """``(lineno, indent, content)`` for every significant line, with
+    comments stripped and the unsupported-YAML tripwires armed."""
+    out: list[tuple[int, int, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        body = _strip_comment(raw, lineno)
+        stripped = body.strip()
+        if not stripped:
+            continue
+        leading = body[:len(body) - len(body.lstrip())]
+        if "\t" in leading:
+            raise YamliteError("tab in indentation (use spaces)", lineno)
+        if stripped in ("---", "..."):
+            raise YamliteError(
+                "multi-document streams are not supported", lineno)
+        out.append((lineno, len(leading), stripped))
+    return out
+
+
+def _strip_comment(raw: str, lineno: int) -> str:
+    """Drop a trailing ``#`` comment, honouring quoted strings."""
+    quote: str | None = None
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if quote is not None:
+            if ch == "\\" and quote == '"':
+                i += 2
+                continue
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+        elif ch == "#" and (i == 0 or raw[i - 1] in " \t"):
+            return raw[:i]
+        i += 1
+    if quote is not None:
+        raise YamliteError("unterminated quoted string", lineno)
+    return raw
+
+
+# -- block structure --------------------------------------------------------
+
+
+def _is_list_item(content: str) -> bool:
+    return content == "-" or content.startswith("- ")
+
+
+def _parse_block(lines, i: int, indent: int):
+    lineno, actual, content = lines[i]
+    if actual != indent:
+        raise YamliteError("content at an unexpected indentation", lineno)
+    if _is_list_item(content):
+        return _parse_list(lines, i, indent)
+    return _parse_mapping(lines, i, indent)
+
+
+def _parse_list(lines, i: int, indent: int):
+    items: list = []
+    while i < len(lines):
+        lineno, actual, content = lines[i]
+        if actual != indent or not _is_list_item(content):
+            break
+        rest = content[1:].strip()
+        if not rest:
+            # ``-`` alone: the item is the nested block below.
+            i += 1
+            if i >= len(lines) or lines[i][1] <= indent:
+                raise YamliteError("empty list item", lineno)
+            value, i = _parse_block(lines, i, lines[i][1])
+            items.append(value)
+            continue
+        split = _split_entry(rest, lineno)
+        if split is not None:
+            # ``- key: value``: a mapping item whose remaining keys sit
+            # at the column where ``key`` starts.
+            item_indent = indent + (len(content) - len(rest))
+            value, i = _parse_mapping(lines, i + 1, item_indent,
+                                      first=(lineno, *split))
+            items.append(value)
+        else:
+            items.append(_parse_scalar(rest, lineno))
+            i += 1
+    if actual > indent:
+        raise YamliteError("content at an unexpected indentation", lineno)
+    return items, i
+
+
+def _parse_mapping(lines, i: int, indent: int,
+                   first: tuple[int, str, str] | None = None):
+    mapping: dict = {}
+
+    def add(key: str, value, lineno: int) -> None:
+        if key in mapping:
+            raise YamliteError(f"duplicate key {key!r}", lineno)
+        mapping[key] = value
+
+    pending = [first] if first is not None else []
+    while True:
+        if pending:
+            lineno, key, rest = pending.pop()
+        else:
+            if i >= len(lines):
+                break
+            lineno, actual, content = lines[i]
+            if actual != indent:
+                if actual > indent:
+                    raise YamliteError(
+                        "content at an unexpected indentation", lineno)
+                break
+            if _is_list_item(content):
+                raise YamliteError(
+                    "list item where a mapping key was expected", lineno)
+            split = _split_entry(content, lineno)
+            if split is None:
+                raise YamliteError(
+                    f"expected 'key: value', got {content!r}", lineno)
+            key, rest = split
+            i += 1
+        if rest:
+            add(key, _parse_scalar(rest, lineno), lineno)
+            continue
+        # ``key:`` with no inline value: nested block, or null.
+        if i < len(lines) and lines[i][1] > indent:
+            value, i = _parse_block(lines, i, lines[i][1])
+            add(key, value, lineno)
+        elif (i < len(lines) and lines[i][1] == indent
+                and _is_list_item(lines[i][2])):
+            # YAML allows a value list at the parent key's indent.
+            value, i = _parse_list(lines, i, indent)
+            add(key, value, lineno)
+        else:
+            add(key, None, lineno)
+    return mapping, i
+
+
+def _split_entry(text: str, lineno: int) -> tuple[str, str] | None:
+    """``(key, rest)`` when *text* is a mapping entry, else None."""
+    if text.startswith(("'", '"')):
+        key, remainder = _take_quoted(text, lineno)
+        remainder = remainder.lstrip()
+        if not remainder.startswith(":"):
+            return None
+        return key, remainder[1:].strip()
+    head, sep, rest = text.partition(": ")
+    if sep:
+        candidate, rest = head.strip(), rest.strip()
+    elif text.endswith(":"):
+        candidate, rest = text[:-1].strip(), ""
+    else:
+        return None
+    if not _KEY_RE.match(candidate):
+        return None
+    return candidate, rest
+
+
+# -- scalars ----------------------------------------------------------------
+
+_UNSUPPORTED = {
+    "&": "anchors", "*": "aliases", "{": "flow mappings",
+    "|": "block scalars", ">": "block scalars",
+}
+
+
+def _parse_scalar(text: str, lineno: int):
+    if text[0] in _UNSUPPORTED:
+        raise YamliteError(
+            f"{_UNSUPPORTED[text[0]]} are not supported "
+            f"(yamlite parses plain scalars, lists, and mappings only)",
+            lineno)
+    if text.startswith(("'", '"')):
+        value, remainder = _take_quoted(text, lineno)
+        if remainder.strip():
+            raise YamliteError(
+                f"trailing content {remainder.strip()!r} after quoted "
+                "string", lineno)
+        return value
+    if text.startswith("["):
+        return _parse_inline_list(text, lineno)
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    if text in ("null", "~"):
+        return None
+    if _INT_RE.match(text):
+        return int(text)
+    if _FLOAT_RE.match(text):
+        return float(text)
+    return text
+
+
+def _take_quoted(text: str, lineno: int) -> tuple[str, str]:
+    """The leading quoted string of *text* plus whatever follows it."""
+    quote = text[0]
+    out: list[str] = []
+    i = 1
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and quote == '"':
+            if i + 1 >= len(text):
+                break
+            esc = text[i + 1]
+            out.append({"n": "\n", "t": "\t"}.get(esc, esc))
+            i += 2
+            continue
+        if ch == quote:
+            return "".join(out), text[i + 1:]
+        out.append(ch)
+        i += 1
+    raise YamliteError("unterminated quoted string", lineno)
+
+
+def _parse_inline_list(text: str, lineno: int) -> list:
+    if not text.endswith("]"):
+        raise YamliteError("unterminated inline list", lineno)
+    body = text[1:-1].strip()
+    if not body:
+        return []
+    items: list = []
+    for part in _split_inline(body, lineno):
+        part = part.strip()
+        if not part:
+            raise YamliteError("empty element in inline list", lineno)
+        if part.startswith("["):
+            raise YamliteError(
+                "nested inline lists are not supported", lineno)
+        items.append(_parse_scalar(part, lineno))
+    return items
+
+
+def _split_inline(body: str, lineno: int) -> list[str]:
+    parts: list[str] = []
+    current: list[str] = []
+    quote: str | None = None
+    for ch in body:
+        if quote is not None:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+            current.append(ch)
+        elif ch == ",":
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if quote is not None:
+        raise YamliteError("unterminated quoted string", lineno)
+    parts.append("".join(current))
+    return parts

@@ -1,0 +1,3 @@
+"""Fixture scenario front door: the library carries seeded violations."""
+
+__all__ = []

@@ -14,6 +14,7 @@ import pytest
 import repro
 import repro.experiments
 import repro.fleet
+import repro.scenarios
 import repro.workloads
 from repro.errors import ConfigurationError
 from repro.fleet import FleetConfig, run_fleet, sample_fleet
@@ -80,16 +81,21 @@ class TestExportSnapshots:
 
     def test_experiments_all(self):
         assert sorted(repro.experiments.__all__) == [
+            "Axis",
+            "AxisValue",
             "CACHE_ENV",
             "CACHE_SCHEMA",
+            "Cell",
             "ExperimentContext",
             "ExperimentResult",
             "ExperimentSpec",
             "ResultCache",
             "SweepResult",
             "all_specs",
+            "axes_from_grid",
             "canonical_json",
             "default_cache_dir",
+            "expand_axes",
             "get_spec",
             "load_cached",
             "register",
@@ -97,6 +103,26 @@ class TestExportSnapshots:
             "run_experiment",
             "run_sweep",
             "unregister",
+            "value_id",
+        ]
+
+    def test_scenarios_all(self):
+        assert sorted(repro.scenarios.__all__) == [
+            "Scenario",
+            "ScenarioConfig",
+            "ScenarioMatrix",
+            "ScenarioResult",
+            "Smoke",
+            "YamliteError",
+            "get_scenario",
+            "library_dir",
+            "list_scenarios",
+            "load_matrix",
+            "load_scenario",
+            "render_html",
+            "render_markdown",
+            "run_scenario",
+            "scenario_from_dict",
         ]
 
     def test_workloads_all(self):
@@ -143,7 +169,8 @@ class TestExportSnapshots:
         ]
 
     def test_all_names_actually_exported(self):
-        for mod in (repro, repro.fleet, repro.experiments, repro.workloads):
+        for mod in (repro, repro.fleet, repro.experiments, repro.workloads,
+                    repro.scenarios):
             for name in mod.__all__:
                 assert hasattr(mod, name), f"{mod.__name__}.{name}"
 
@@ -324,3 +351,93 @@ class TestWorkloadDeprecationShims:
 
         repro.workloads._DEPRECATION_WARNED.add("RDMA")
         assert repro.workloads.RDMA is get_service("rdma")
+
+
+class TestScenarioFrontDoor:
+    def test_scenario_config_frozen_and_validated(self):
+        from repro.scenarios import ScenarioConfig
+
+        cfg = ScenarioConfig(scenario="fragmentation-aging", smoke=True)
+        with pytest.raises(Exception):
+            cfg.smoke = False
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(scenario=42)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(scenario="x", workers=0)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(scenario="x", checkpoint_every=-1)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(scenario="x", cells=("ok", ""))
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(scenario="x", select={"axis": 3})
+
+    def test_run_scenario_takes_config_returns_result(self, tmp_path):
+        from repro.experiments import ResultCache
+        from repro.scenarios import ScenarioConfig, run_scenario
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        result = run_scenario(
+            ScenarioConfig(scenario="fragmentation-aging", smoke=True,
+                           workers=1),
+            cache=cache)
+        assert len(result.cells) == 1
+        assert result.report().startswith("# Scenario: fragmentation-aging")
+
+
+class TestGridDeprecationShim:
+    """ExperimentSpec's legacy grid dicts ride the same warn-once policy
+    as every other shim — and normalise onto the Axis/Cell engine."""
+
+    def _spec(self, **kwargs):
+        from repro.experiments import ExperimentSpec
+
+        return ExperimentSpec(
+            name="grid-shim-probe", description="probe",
+            producer=lambda ctx: [],
+            defaults={"steps": 10, "service": "web"}, **kwargs)
+
+    def _reset(self):
+        from repro.experiments import spec as spec_mod
+
+        spec_mod._DEPRECATION_WARNED.discard("ExperimentSpec.grid")
+
+    def test_grid_dict_warns_exactly_once(self):
+        self._reset()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            a = self._spec(grid={"steps": (10, 20)})
+            b = self._spec(grid={"steps": (10, 20)})
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)
+                        and "axes" in str(w.message)]
+        assert len(deprecations) == 1
+        assert [c.id for c in a.grid_cells()] == \
+               [c.id for c in b.grid_cells()]
+
+    def test_grid_dict_second_use_survives_w_error(self):
+        self._reset()
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            self._spec(grid={"steps": (10, 20)})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            self._spec(grid={"steps": (10, 20)})
+
+    def test_grid_dict_first_use_raises_under_w_error(self):
+        self._reset()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with pytest.raises(DeprecationWarning, match="axes"):
+                self._spec(grid={"steps": (10, 20)})
+
+    def test_grid_dict_matches_axes_spelling(self):
+        from repro.experiments import axes_from_grid
+        from repro.experiments import spec as spec_mod
+
+        spec_mod._DEPRECATION_WARNED.add("ExperimentSpec.grid")
+        legacy = self._spec(grid={"steps": (10, 20), "service": ("web",)})
+        modern = self._spec(axes=axes_from_grid(
+            {"steps": (10, 20), "service": ("web",)}))
+        assert legacy.axes == modern.axes
+        assert [(c.id, c.overrides) for c in legacy.grid_cells()] == \
+               [(c.id, c.overrides) for c in modern.grid_cells()]

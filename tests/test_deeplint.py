@@ -149,6 +149,42 @@ class TestDL103ApiSurface:
         assert not any("no shim" in f.message for f in dirty)
 
 
+class TestDL103ScenarioLibrary:
+    """The fifth DL103 claim: a documented `.scenarios` front door must
+    ship a structurally valid bundled library."""
+
+    def _library(self, dirty):
+        return [f for f in dirty
+                if f.rule == "DL103" and "/library/" in f.path]
+
+    def test_bad_stem_gets_three_findings(self, dirty):
+        msgs = [f.message for f in self._library(dirty)
+                if f.path.endswith("bad_stem.yml")]
+        assert any("kebab-case" in m for m in msgs)
+        assert any("match the file stem" in m for m in msgs)
+        assert any("'smoke' mapping" in m for m in msgs)
+        assert len(msgs) == 3
+
+    def test_parse_error_carries_yaml_line(self, dirty):
+        hits = [f for f in self._library(dirty)
+                if f.path.endswith("broken.yml")]
+        assert len(hits) == 1
+        assert hits[0].line == 3
+        assert "does not parse" in hits[0].message
+
+    def test_conforming_file_is_clean(self, dirty):
+        assert not any(f.path.endswith("good-one.yml")
+                       for f in self._library(dirty))
+
+    def test_undocumented_scenarios_module_not_checked(self):
+        # CLEAN's API.md has no `.scenarios` section, so the library
+        # contract stays unarmed there (asserted via zero findings in
+        # TestCleanAndShippedTrees); the real tree documents
+        # `repro.scenarios` and its 11 bundled files must stay clean.
+        findings = deep_lint_paths([SRC])
+        assert not any("/library/" in f.path for f in findings)
+
+
 class TestDL104Determinism:
     def test_set_iteration_on_reachable_path_flagged(self, dirty):
         hits = [f for f in dirty

@@ -60,7 +60,8 @@ class TestCli:
         assert set(sub.choices) == {"fig13", "walk", "steady", "fleet",
                                     "hwcost", "interference", "autotune",
                                     "chaos", "trace", "metrics", "lint",
-                                    "experiment", "loadgen", "checkpoint"}
+                                    "experiment", "loadgen", "checkpoint",
+                                    "scenario"}
 
     def test_shared_options_spelled_identically(self):
         """The consolidated verbs take --seed/--workers/--json/--manifest
